@@ -1,0 +1,13 @@
+// Reproduces Fig. 10: parallel speedup of RECEIPT when peeling vertex set U
+// with 1…36 threads on every dataset.
+
+#include "bench_scalability_common.h"
+
+int main(int argc, char** argv) {
+  receipt::bench::RegisterScalabilityBenchmarks("Fig10", receipt::Side::kU);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintScalabilityTable("Fig. 10", receipt::Side::kU);
+  return 0;
+}

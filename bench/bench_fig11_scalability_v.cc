@@ -1,0 +1,13 @@
+// Reproduces Fig. 11: parallel speedup of RECEIPT when peeling vertex set V
+// with 1…36 threads on every dataset.
+
+#include "bench_scalability_common.h"
+
+int main(int argc, char** argv) {
+  receipt::bench::RegisterScalabilityBenchmarks("Fig11", receipt::Side::kV);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintScalabilityTable("Fig. 11", receipt::Side::kV);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Fig. 4: cumulative tip-number distribution of the Trackers
+// dataset (TrU and TrV analogues) — the percentage of vertices with
+// θ_u ≤ θ at logarithmically spaced thresholds, demonstrating that although
+// θ_max is extreme, almost all vertices have tiny tip numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+struct Series {
+  std::vector<std::pair<Count, double>> points;  // (θ, % vertices ≤ θ)
+  Count theta_max = 0;
+  double pct_below_small_fraction = 0;  // % below θ_max/3700 (paper: 99.98%)
+};
+
+std::map<std::string, Series>& AllSeries() {
+  static auto& series = *new std::map<std::string, Series>();
+  return series;
+}
+
+void Distribution(benchmark::State& state, const Target& target) {
+  const BipartiteGraph& g = Dataset(target.dataset);
+  TipOptions options;
+  options.side = target.side;
+  options.num_threads = DefaultThreads();
+  options.num_partitions = DefaultPartitions();
+  Series series;
+  for (auto _ : state) {
+    const TipResult r = ReceiptDecompose(g, options);
+    const auto histogram = TipHistogram(r.tip_numbers);
+    const double total = static_cast<double>(r.tip_numbers.size());
+    series.theta_max = r.MaxTipNumber();
+    // Log-spaced thresholds 1, 10, 100, … up to θ_max.
+    std::vector<Count> thresholds = {0};
+    for (Count t = 1; t <= series.theta_max; t *= 10) {
+      thresholds.push_back(t);
+    }
+    thresholds.push_back(series.theta_max);
+    series.points.clear();
+    for (const Count threshold : thresholds) {
+      uint64_t below = 0;
+      for (const auto& [value, count] : histogram) {
+        if (value <= threshold) below += count;
+      }
+      series.points.emplace_back(threshold, 100.0 * below / total);
+    }
+    // The paper's observation: 99.98% of TrU vertices lie below 0.027% of
+    // θ_max. Evaluate the same fraction.
+    const Count small = static_cast<Count>(series.theta_max * 0.00027) + 1;
+    uint64_t below = 0;
+    for (const auto& [value, count] : histogram) {
+      if (value < small) below += count;
+    }
+    series.pct_below_small_fraction = 100.0 * below / total;
+  }
+  state.counters["theta_max"] = static_cast<double>(series.theta_max);
+  AllSeries()[target.label] = series;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Fig. 4 reproduction — cumulative tip-number distribution (Trackers "
+      "analogue)");
+  for (const auto& [label, series] : AllSeries()) {
+    std::printf("%s cumulative distribution (theta_max = %llu):\n",
+                label.c_str(),
+                static_cast<unsigned long long>(series.theta_max));
+    std::printf("  %14s  %10s\n", "theta", "% <= theta");
+    for (const auto& [threshold, pct] : series.points) {
+      std::printf("  %14llu  %9.2f%%\n",
+                  static_cast<unsigned long long>(threshold), pct);
+    }
+    std::printf(
+        "  %% vertices with theta < 0.027%% of max: %.2f%% (paper TrU: "
+        "99.98%%)\n\n",
+        series.pct_below_small_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    if (target.dataset != "tr") continue;  // Fig. 4 is Trackers only
+    benchmark::RegisterBenchmark(
+        ("Fig4/" + target.label).c_str(),
+        [target](benchmark::State& state) {
+          receipt::bench::Distribution(state, target);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

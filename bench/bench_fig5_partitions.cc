@@ -1,0 +1,103 @@
+// Reproduces Fig. 5: RECEIPT execution time as a function of the number of
+// vertex subsets P, on the U sides that the paper shows (execution slows
+// for very small P — big induced subgraphs, FD bottleneck — and for very
+// large P — more CD synchronization).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+// The paper sweeps 50…550 with P=150 chosen; our analogues are ~1000x
+// smaller so the sweep is scaled to keep subsets non-degenerate.
+const std::vector<int>& PartitionSweep() {
+  static const auto& sweep = *new std::vector<int>{5, 10, 20, 30, 60, 120};
+  return sweep;
+}
+
+struct Point {
+  double seconds_total = 0;
+  double seconds_cd = 0;
+  double seconds_fd = 0;
+  uint64_t sync_rounds = 0;
+};
+
+std::map<std::string, std::map<int, Point>>& Series() {
+  static auto& series = *new std::map<std::string, std::map<int, Point>>();
+  return series;
+}
+
+void SweepPoint(benchmark::State& state, const Target& target,
+                int partitions) {
+  const BipartiteGraph& g = Dataset(target.dataset);
+  TipOptions options;
+  options.side = target.side;
+  options.num_threads = DefaultThreads();
+  options.num_partitions = partitions;
+  Point point;
+  for (auto _ : state) {
+    const TipResult r = ReceiptDecompose(g, options);
+    point.seconds_total = r.stats.seconds_total;
+    point.seconds_cd = r.stats.seconds_cd;
+    point.seconds_fd = r.stats.seconds_fd;
+    point.sync_rounds = r.stats.sync_rounds;
+  }
+  state.counters["seconds"] = point.seconds_total;
+  state.counters["sync_rounds"] = static_cast<double>(point.sync_rounds);
+  Series()[target.label][partitions] = point;
+}
+
+void PrintTable() {
+  PrintHeader("Fig. 5 reproduction — RECEIPT execution time vs P");
+  std::printf("%-5s", "P");
+  for (const auto& [label, points] : Series()) std::printf(" | %-22s", label.c_str());
+  std::printf("\n%-5s", "");
+  for (size_t i = 0; i < Series().size(); ++i) {
+    std::printf(" | %7s %6s %7s", "total_s", "cd_s", "rounds");
+  }
+  std::printf("\n");
+  PrintRule();
+  for (const int p : PartitionSweep()) {
+    std::printf("%-5d", p);
+    for (const auto& [label, points] : Series()) {
+      const Point& pt = points.at(p);
+      std::printf(" | %7.3f %6.3f %7llu", pt.seconds_total, pt.seconds_cd,
+                  static_cast<unsigned long long>(pt.sync_rounds));
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  std::printf(
+      "expected shape (paper Fig. 5): sync rounds (and CD time share) grow "
+      "with P; small P inflates FD subgraphs.\n\n");
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  // The paper's Fig. 5 shows the large U-side datasets.
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    if (target.side != receipt::Side::kU) continue;
+    for (const int partitions : receipt::bench::PartitionSweep()) {
+      benchmark::RegisterBenchmark(
+          ("Fig5/" + target.label + "/P" + std::to_string(partitions))
+              .c_str(),
+          [target, partitions](benchmark::State& state) {
+            receipt::bench::SweepPoint(state, target, partitions);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Fig. 7: execution time of RECEIPT, RECEIPT- (no DGM) and
+// RECEIPT-- (no DGM, no HUC), normalized to RECEIPT--. Time closely tracks
+// the wedge-workload trend of Fig. 6.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+struct Row {
+  double full = 0;
+  double no_dgm = 0;
+  double neither = 0;
+};
+
+std::map<std::string, Row>& Rows() {
+  static auto& rows = *new std::map<std::string, Row>();
+  return rows;
+}
+
+void Ablation(benchmark::State& state, const Target& target) {
+  Row row;
+  for (auto _ : state) {
+    row.full = RunReceiptAblation(target, AblationConfig::kFull).seconds_total;
+    row.no_dgm =
+        RunReceiptAblation(target, AblationConfig::kNoDgm).seconds_total;
+    row.neither =
+        RunReceiptAblation(target, AblationConfig::kNeither).seconds_total;
+  }
+  state.counters["t_receipt_s"] = row.full;
+  state.counters["t_receipt_minus_s"] = row.no_dgm;
+  state.counters["t_receipt_mm_s"] = row.neither;
+  Rows()[target.label] = row;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Fig. 7 reproduction — normalized execution time: RECEIPT / "
+      "RECEIPT- / RECEIPT--");
+  std::printf("%-5s | %10s %10s %10s | %8s %8s %8s\n", "tgt", "RECEIPT(s)",
+              "RECEIPT-", "RECEIPT--", "norm", "norm-", "norm--");
+  PrintRule();
+  for (const Target& target : AllTargets()) {
+    const Row& r = Rows()[target.label];
+    const double base = r.neither > 0 ? r.neither : 1.0;
+    std::printf("%-5s | %10.3f %10.3f %10.3f | %8.3f %8.3f %8.3f\n",
+                target.label.c_str(), r.full, r.no_dgm, r.neither,
+                r.full / base, r.no_dgm / base, 1.0);
+  }
+  PrintRule();
+  std::printf(
+      "expected shape (paper Fig. 7): time follows the Fig. 6 wedge trend; "
+      "TrU-style datasets gain the most from HUC.\n\n");
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    benchmark::RegisterBenchmark(
+        ("Fig7/" + target.label).c_str(),
+        [target](benchmark::State& state) {
+          receipt::bench::Ablation(state, target);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 8: percentage of wedge traversal attributable to each
+// RECEIPT step — CD peeling, FD, and pvBcnt counting — per dataset × side.
+// The paper's shape: CD dominates, FD stays below ~15%.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+std::map<std::string, PeelStats>& Rows() {
+  static auto& rows = *new std::map<std::string, PeelStats>();
+  return rows;
+}
+
+void Breakup(benchmark::State& state, const Target& target) {
+  PeelStats stats;
+  for (auto _ : state) {
+    stats = RunReceiptAblation(target, AblationConfig::kFull);
+  }
+  state.counters["wedges_cd"] = static_cast<double>(stats.wedges_cd);
+  state.counters["wedges_fd"] = static_cast<double>(stats.wedges_fd);
+  state.counters["wedges_cnt"] = static_cast<double>(stats.wedges_counting);
+  Rows()[target.label] = stats;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Fig. 8 reproduction — breakup of wedges traversed per RECEIPT step");
+  std::printf("%-5s | %12s %12s %12s | %7s %7s %7s\n", "tgt", "CD", "FD",
+              "pvBcnt", "%CD", "%FD", "%cnt");
+  PrintRule();
+  double max_fd_pct = 0;
+  for (const Target& target : AllTargets()) {
+    const PeelStats& s = Rows()[target.label];
+    const double total = static_cast<double>(s.TotalWedges());
+    const double pct_cd = 100.0 * static_cast<double>(s.wedges_cd) / total;
+    const double pct_fd = 100.0 * static_cast<double>(s.wedges_fd) / total;
+    const double pct_cnt =
+        100.0 * static_cast<double>(s.wedges_counting) / total;
+    max_fd_pct = std::max(max_fd_pct, pct_fd);
+    std::printf("%-5s | %12llu %12llu %12llu | %6.1f%% %6.1f%% %6.1f%%\n",
+                target.label.c_str(),
+                static_cast<unsigned long long>(s.wedges_cd),
+                static_cast<unsigned long long>(s.wedges_fd),
+                static_cast<unsigned long long>(s.wedges_counting), pct_cd,
+                pct_fd, pct_cnt);
+  }
+  PrintRule();
+  std::printf(
+      "max FD share observed: %.1f%% (paper Fig. 8: FD < 15%% "
+      "everywhere)\n\n",
+      max_fd_pct);
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    benchmark::RegisterBenchmark(
+        ("Fig8/" + target.label).c_str(),
+        [target](benchmark::State& state) {
+          receipt::bench::Breakup(state, target);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 9: percentage of execution time attributable to each
+// RECEIPT step — CD peeling, FD, and pvBcnt counting — per dataset × side.
+// The paper's shape: CD > 50% everywhere; FD usually < 25%; pvBcnt matters
+// on low-r (V-side) targets.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+std::map<std::string, PeelStats>& Rows() {
+  static auto& rows = *new std::map<std::string, PeelStats>();
+  return rows;
+}
+
+void Breakup(benchmark::State& state, const Target& target) {
+  PeelStats stats;
+  for (auto _ : state) {
+    stats = RunReceiptAblation(target, AblationConfig::kFull);
+  }
+  state.counters["seconds_cd"] = stats.seconds_cd;
+  state.counters["seconds_fd"] = stats.seconds_fd;
+  state.counters["seconds_cnt"] = stats.seconds_counting;
+  Rows()[target.label] = stats;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Fig. 9 reproduction — breakup of execution time per RECEIPT step");
+  std::printf("%-5s | %9s %9s %9s %9s | %7s %7s %7s\n", "tgt", "CD(s)",
+              "FD(s)", "pvBcnt(s)", "total(s)", "%CD", "%FD", "%cnt");
+  PrintRule();
+  for (const Target& target : AllTargets()) {
+    const PeelStats& s = Rows()[target.label];
+    const double accounted = s.seconds_cd + s.seconds_fd + s.seconds_counting;
+    const double total = accounted > 0 ? accounted : 1.0;
+    std::printf(
+        "%-5s | %9.3f %9.3f %9.3f %9.3f | %6.1f%% %6.1f%% %6.1f%%\n",
+        target.label.c_str(), s.seconds_cd, s.seconds_fd,
+        s.seconds_counting, s.seconds_total, 100.0 * s.seconds_cd / total,
+        100.0 * s.seconds_fd / total, 100.0 * s.seconds_counting / total);
+  }
+  PrintRule();
+  std::printf(
+      "expected shape (paper Fig. 9): CD dominates; pvBcnt share grows on "
+      "the cheap V-side targets.\n\n");
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    benchmark::RegisterBenchmark(
+        ("Fig9/" + target.label).c_str(),
+        [target](benchmark::State& state) {
+          receipt::bench::Breakup(state, target);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

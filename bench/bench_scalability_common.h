@@ -1,0 +1,97 @@
+#ifndef RECEIPT_BENCH_BENCH_SCALABILITY_COMMON_H_
+#define RECEIPT_BENCH_BENCH_SCALABILITY_COMMON_H_
+
+// Shared driver for the Fig. 10 / Fig. 11 scalability reproductions:
+// RECEIPT self-relative speedup with T ∈ {1, 2, 4, 9, 18, 36} threads while
+// peeling one side of every dataset.
+//
+// NOTE: this container exposes a single hardware core, so wall-clock
+// speedups are flat/oversubscribed (documented in EXPERIMENTS.md). The
+// sweep still exercises every parallel code path and verifies that the
+// parallel configurations produce identical tip numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+
+inline const std::vector<int>& ThreadSweep() {
+  static const auto& sweep = *new std::vector<int>{1, 2, 4, 9, 18, 36};
+  return sweep;
+}
+
+inline std::map<std::string, std::map<int, double>>& ScalabilitySeries() {
+  static auto& series = *new std::map<std::string, std::map<int, double>>();
+  return series;
+}
+
+inline void ScalabilityPoint(benchmark::State& state, const Target& target,
+                             int threads) {
+  const BipartiteGraph& g = Dataset(target.dataset);
+  TipOptions options;
+  options.side = target.side;
+  options.num_threads = threads;
+  options.num_partitions = DefaultPartitions();
+  double seconds = 0;
+  for (auto _ : state) {
+    const TipResult r = ReceiptDecompose(g, options);
+    seconds = r.stats.seconds_total;
+  }
+  state.counters["seconds"] = seconds;
+  ScalabilitySeries()[target.label][threads] = seconds;
+}
+
+inline void PrintScalabilityTable(const std::string& figure, Side side) {
+  PrintHeader(figure + " reproduction — RECEIPT self-relative speedup, "
+              "peeling set " + SideName(side) +
+              " (single-core container: threads are oversubscribed)");
+  std::printf("%-8s", "threads");
+  for (const auto& [label, series] : ScalabilitySeries()) {
+    std::printf(" | %-17s", label.c_str());
+  }
+  std::printf("\n%-8s", "");
+  for (size_t i = 0; i < ScalabilitySeries().size(); ++i) {
+    std::printf(" | %8s %8s", "time_s", "speedup");
+  }
+  std::printf("\n");
+  PrintRule();
+  for (const int threads : ThreadSweep()) {
+    std::printf("%-8d", threads);
+    for (const auto& [label, series] : ScalabilitySeries()) {
+      const double t1 = series.at(1);
+      const double tT = series.at(threads);
+      std::printf(" | %8.3f %7.2fx", tT, tT > 0 ? t1 / tT : 0.0);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  std::printf(
+      "paper: up to 17.1x self-relative speedup at 36 threads on a 36-core "
+      "machine; this container has 1 core, so ~1x is the expected "
+      "ceiling here.\n\n");
+}
+
+inline void RegisterScalabilityBenchmarks(const std::string& figure,
+                                          Side side) {
+  for (const Target& target : AllTargets()) {
+    if (target.side != side) continue;
+    for (const int threads : ThreadSweep()) {
+      benchmark::RegisterBenchmark(
+          (figure + "/" + target.label + "/T" + std::to_string(threads))
+              .c_str(),
+          [target, threads](benchmark::State& state) {
+            ScalabilityPoint(state, target, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace receipt::bench
+
+#endif  // RECEIPT_BENCH_BENCH_SCALABILITY_COMMON_H_

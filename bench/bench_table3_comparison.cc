@@ -1,0 +1,145 @@
+// Reproduces Table 3: execution time (t), wedges traversed (∧) and
+// synchronization rounds (ρ) of BUP, ParB and RECEIPT — plus the pvBcnt
+// row — on every dataset × side, with the paper's reported values printed
+// alongside for shape comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace receipt::bench {
+namespace {
+
+struct Row {
+  double t_pvbcnt = 0;
+  double t_bup = 0;
+  double t_parb = 0;
+  double t_receipt = 0;
+  uint64_t wedges_pvbcnt = 0;
+  uint64_t wedges_bup = 0;
+  uint64_t wedges_receipt = 0;
+  uint64_t rho_parb = 0;
+  uint64_t rho_receipt = 0;
+};
+
+std::map<std::string, Row>& Rows() {
+  static auto& rows = *new std::map<std::string, Row>();
+  return rows;
+}
+
+TipOptions MakeOptions(Side side, int threads) {
+  TipOptions options;
+  options.side = side;
+  options.num_threads = threads;
+  options.num_partitions = DefaultPartitions();
+  return options;
+}
+
+void RunTarget(benchmark::State& state, const Target& target) {
+  const BipartiteGraph& g = Dataset(target.dataset);
+  Row& row = Rows()[target.label];
+  const int threads = DefaultThreads();
+  for (auto _ : state) {
+    {
+      WallTimer t;
+      uint64_t wedges = 0;
+      benchmark::DoNotOptimize(CountButterflies(g, threads, &wedges));
+      row.t_pvbcnt = t.Seconds();
+      row.wedges_pvbcnt = wedges;
+    }
+    {
+      const TipResult r = BupDecompose(g, MakeOptions(target.side, 1));
+      row.t_bup = r.stats.seconds_total;
+      row.wedges_bup = r.stats.TotalWedges();
+    }
+    {
+      const TipResult r = ParbDecompose(g, MakeOptions(target.side, threads));
+      row.t_parb = r.stats.seconds_total;
+      row.rho_parb = r.stats.sync_rounds;
+    }
+    {
+      const TipResult r =
+          ReceiptDecompose(g, MakeOptions(target.side, threads));
+      row.t_receipt = r.stats.seconds_total;
+      row.wedges_receipt = r.stats.TotalWedges();
+      row.rho_receipt = r.stats.sync_rounds;
+    }
+  }
+  state.counters["t_bup_s"] = row.t_bup;
+  state.counters["t_parb_s"] = row.t_parb;
+  state.counters["t_receipt_s"] = row.t_receipt;
+  state.counters["rho_parb"] = static_cast<double>(row.rho_parb);
+  state.counters["rho_receipt"] = static_cast<double>(row.rho_receipt);
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Table 3 reproduction — t / wedges / rho for BUP, ParB, RECEIPT "
+      "(threads=" + std::to_string(DefaultThreads()) +
+      ", P=" + std::to_string(DefaultPartitions()) + ")");
+  std::printf(
+      "%-5s | %8s %8s %8s %8s | %12s %12s %12s | %9s %9s | paper "
+      "t(BUP/ParB/REC)  rho(ParB/REC)\n",
+      "tgt", "t_cnt", "t_BUP", "t_ParB", "t_REC", "wdg_cnt", "wdg_BUP",
+      "wdg_REC", "rho_ParB", "rho_REC");
+  PrintRule();
+  for (const Target& target : AllTargets()) {
+    const Row& r = Rows()[target.label];
+    const PaperTable3Row* paper = FindPaperRow(target.label);
+    std::printf(
+        "%-5s | %8.3f %8.3f %8.3f %8.3f | %12llu %12llu %12llu | %9llu "
+        "%9llu | %8.0f/%8.0f/%6.1f  %7.0f/%5.0f\n",
+        target.label.c_str(), r.t_pvbcnt, r.t_bup, r.t_parb, r.t_receipt,
+        static_cast<unsigned long long>(r.wedges_pvbcnt),
+        static_cast<unsigned long long>(r.wedges_bup),
+        static_cast<unsigned long long>(r.wedges_receipt),
+        static_cast<unsigned long long>(r.rho_parb),
+        static_cast<unsigned long long>(r.rho_receipt), paper->t_bup,
+        paper->t_parb, paper->t_receipt, paper->rho_parb,
+        paper->rho_receipt);
+  }
+  PrintRule();
+  // Shape summary: who wins and by how much.
+  double max_rho_ratio = 0;
+  double max_wedge_ratio = 0;
+  for (const Target& target : AllTargets()) {
+    const Row& r = Rows()[target.label];
+    if (r.rho_receipt > 0) {
+      max_rho_ratio =
+          std::max(max_rho_ratio, static_cast<double>(r.rho_parb) /
+                                      static_cast<double>(r.rho_receipt));
+    }
+    if (r.wedges_receipt > 0) {
+      max_wedge_ratio =
+          std::max(max_wedge_ratio,
+                   static_cast<double>(r.wedges_bup) /
+                       static_cast<double>(r.wedges_receipt));
+    }
+  }
+  std::printf(
+      "max rho reduction ParB/RECEIPT: %.0fx (paper: up to 1105x); max "
+      "wedge reduction BUP/RECEIPT: %.1fx (paper: up to 64x)\n\n",
+      max_rho_ratio, max_wedge_ratio);
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) {
+  for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
+    benchmark::RegisterBenchmark(
+        ("Table3/" + target.label).c_str(),
+        [target](benchmark::State& state) {
+          receipt::bench::RunTarget(state, target);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  receipt::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Research-group hierarchy mining from an author×paper affiliation network
+// (§1): tip decomposition reveals nested collaboration groups — a tight
+// core of co-authors inside a looser lab, inside the department.
+//
+//   $ ./affiliation_hierarchy
+
+#include <cstdio>
+#include <vector>
+
+#include "receipt/receipt_lib.h"
+
+int main() {
+  using namespace receipt;
+
+  // Nested communities: a 6-author core publishing 30 joint papers, within
+  // a 20-author lab sharing 40 papers at lower density, within a 120-author
+  // department with occasional cross-papers. Community vertex ranges
+  // overlap by construction of the id layout below.
+  std::vector<BipartiteGraph::Edge> edges;
+  uint64_t seed = 1;
+  const auto pseudo = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  // Core: authors 0..5 on papers 0..29 (dense).
+  for (VertexId a = 0; a < 6; ++a) {
+    for (VertexId p = 0; p < 30; ++p) {
+      if (pseudo() % 100 < 80) edges.push_back({a, p});
+    }
+  }
+  // Lab: authors 0..19 on papers 30..69 (medium).
+  for (VertexId a = 0; a < 20; ++a) {
+    for (VertexId p = 30; p < 70; ++p) {
+      if (pseudo() % 100 < 25) edges.push_back({a, p});
+    }
+  }
+  // Department: authors 0..119 on papers 70..299 (sparse).
+  for (VertexId a = 0; a < 120; ++a) {
+    for (VertexId p = 70; p < 300; ++p) {
+      if (pseudo() % 100 < 3) edges.push_back({a, p});
+    }
+  }
+  const BipartiteGraph network = BipartiteGraph::FromEdges(120, 300, edges);
+  std::printf("affiliation network: %u authors x %u papers, %llu edges\n\n",
+              network.num_u(), network.num_v(),
+              static_cast<unsigned long long>(network.num_edges()));
+
+  TipOptions options;
+  options.side = Side::kU;
+  options.num_threads = 2;
+  options.num_partitions = 8;
+  const TipResult result = ReceiptDecompose(network, options);
+
+  // Walk the hierarchy bottom-up: how group structure sharpens with k.
+  std::printf("%-12s %10s %18s\n", "k", "#k-tips", "largest k-tip size");
+  const Count max_tip = result.MaxTipNumber();
+  for (Count k = 1; k <= max_tip; k = k * 4 + 1) {
+    const auto tips = ExtractKTips(network, Side::kU, result.tip_numbers, k);
+    std::printf("%-12llu %10zu %18zu\n",
+                static_cast<unsigned long long>(k), tips.size(),
+                tips.empty() ? 0 : tips[0].vertices.size());
+  }
+
+  // The top level should isolate the 6-author core.
+  const auto top = ExtractKTips(network, Side::kU, result.tip_numbers,
+                                max_tip);
+  std::printf("\nstrongest group (theta = %llu):",
+              static_cast<unsigned long long>(max_tip));
+  for (const VertexId a : top[0].vertices) std::printf(" author%u", a);
+  std::printf("\n(planted core was authors 0..5)\n");
+  return 0;
+}

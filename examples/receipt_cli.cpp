@@ -1,0 +1,269 @@
+// receipt_cli — command-line driver for the library: generate datasets,
+// inspect statistics, run any decomposition algorithm and export results.
+//
+//   receipt_cli generate --type chunglu --nu 10000 --nv 5000 --edges 50000 \
+//                        --alpha-u 0.5 --alpha-v 0.8 --seed 1 --output g.konect
+//   receipt_cli stats    --dataset tr
+//   receipt_cli decompose --input g.konect --algo receipt --side U \
+//                        --threads 8 --partitions 150 --output tips.txt
+//   receipt_cli wing     --dataset it --parallel --partitions 8
+//
+// Exit code 0 on success, 1 on usage errors, 2 on IO failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "receipt/receipt_lib.h"
+
+namespace {
+
+using namespace receipt;
+
+/// Minimal --flag value parser: flags() returns "" for missing keys;
+/// boolean switches store "1".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: receipt_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate  --type chunglu|random|complete --nu N --nv N --edges M\n"
+      "            [--alpha-u A --alpha-v A] [--seed S] --output FILE\n"
+      "  stats     --input FILE | --dataset it|de|or|lj|en|tr\n"
+      "            [--approx-samples N]\n"
+      "  decompose --input FILE | --dataset NAME  [--algo receipt|bup|parb]\n"
+      "            [--side U|V] [--threads T] [--partitions P]\n"
+      "            [--no-huc] [--no-dgm] [--output FILE]\n"
+      "  wing      --input FILE | --dataset NAME  [--parallel]\n"
+      "            [--threads T] [--partitions P] [--output FILE]\n");
+  return 1;
+}
+
+bool LoadGraph(const Args& args, BipartiteGraph* graph) {
+  if (args.Has("dataset")) {
+    const std::string name = args.Get("dataset");
+    for (const std::string& known : PaperAnalogueNames()) {
+      if (name == known) {
+        *graph = MakePaperAnalogue(name);
+        return true;
+      }
+    }
+    std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+    return false;
+  }
+  const std::string path = args.Get("input");
+  if (path.empty()) {
+    std::fprintf(stderr, "need --input FILE or --dataset NAME\n");
+    return false;
+  }
+  std::string error;
+  auto loaded = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+                    ? LoadBinary(path, &error)
+                    : LoadKonect(path, &error);
+  if (!loaded) {
+    std::fprintf(stderr, "failed to load '%s': %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  *graph = std::move(*loaded);
+  return true;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string type = args.Get("type", "chunglu");
+  const VertexId nu = static_cast<VertexId>(args.GetInt("nu", 1000));
+  const VertexId nv = static_cast<VertexId>(args.GetInt("nv", 1000));
+  const uint64_t edges = static_cast<uint64_t>(args.GetInt("edges", 5000));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  BipartiteGraph graph;
+  if (type == "chunglu") {
+    graph = ChungLuBipartite(nu, nv, edges, args.GetDouble("alpha-u", 0.5),
+                             args.GetDouble("alpha-v", 0.5), seed);
+  } else if (type == "random") {
+    graph = RandomBipartite(nu, nv, edges, seed);
+  } else if (type == "complete") {
+    graph = CompleteBipartite(nu, nv);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
+    return 1;
+  }
+
+  const std::string output = args.Get("output");
+  if (output.empty()) {
+    std::fprintf(stderr, "need --output FILE\n");
+    return 1;
+  }
+  const bool ok =
+      output.size() > 4 && output.substr(output.size() - 4) == ".bin"
+          ? SaveBinary(graph, output)
+          : SaveKonect(graph, output);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write '%s'\n", output.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: |U|=%u |V|=%u |E|=%llu\n", output.c_str(),
+              graph.num_u(), graph.num_v(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  BipartiteGraph graph;
+  if (!LoadGraph(args, &graph)) return 2;
+  std::printf("|U|=%u |V|=%u |E|=%llu dU=%.2f dV=%.2f\n", graph.num_u(),
+              graph.num_v(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.AverageDegree(Side::kU), graph.AverageDegree(Side::kV));
+  std::printf("wedgesU=%llu wedgesV=%llu counting_bound=%llu\n",
+              static_cast<unsigned long long>(graph.TotalWedges(Side::kU)),
+              static_cast<unsigned long long>(graph.TotalWedges(Side::kV)),
+              static_cast<unsigned long long>(graph.CountingCostBound()));
+  const int64_t samples = args.GetInt("approx-samples", 0);
+  if (samples > 0) {
+    const ApproxCountResult approx = ApproxTotalButterflies(
+        graph, static_cast<uint64_t>(samples), /*seed=*/17);
+    std::printf("approx butterflies=%.0f (rel. std. err %.3f, %llu "
+                "samples)\n",
+                approx.estimate, approx.relative_std_error,
+                static_cast<unsigned long long>(approx.samples));
+  } else {
+    std::printf("butterflies=%llu\n",
+                static_cast<unsigned long long>(TotalButterflies(graph, 4)));
+  }
+  return 0;
+}
+
+bool WriteCounts(const std::string& path, const std::vector<Count>& values) {
+  std::ofstream out(path);
+  for (size_t i = 0; i < values.size(); ++i) {
+    out << i << " " << values[i] << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+int CmdDecompose(const Args& args) {
+  BipartiteGraph graph;
+  if (!LoadGraph(args, &graph)) return 2;
+
+  TipOptions options;
+  options.side = args.Get("side", "U") == "V" ? Side::kV : Side::kU;
+  options.num_threads = static_cast<int>(args.GetInt("threads", 4));
+  options.num_partitions =
+      static_cast<int>(args.GetInt("partitions", 150));
+  options.use_huc = !args.Has("no-huc");
+  options.use_dgm = !args.Has("no-dgm");
+
+  const std::string algo = args.Get("algo", "receipt");
+  TipResult result;
+  if (algo == "receipt") {
+    result = ReceiptDecompose(graph, options);
+  } else if (algo == "bup") {
+    result = BupDecompose(graph, options);
+  } else if (algo == "parb") {
+    result = ParbDecompose(graph, options);
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return 1;
+  }
+
+  std::printf("%s on side %s: theta_max=%llu\n%s\n", algo.c_str(),
+              SideName(options.side),
+              static_cast<unsigned long long>(result.MaxTipNumber()),
+              result.stats.ToString().c_str());
+  const std::string output = args.Get("output");
+  if (!output.empty()) {
+    if (!WriteCounts(output, result.tip_numbers)) {
+      std::fprintf(stderr, "failed to write '%s'\n", output.c_str());
+      return 2;
+    }
+    std::printf("tip numbers written to %s\n", output.c_str());
+  }
+  return 0;
+}
+
+int CmdWing(const Args& args) {
+  BipartiteGraph graph;
+  if (!LoadGraph(args, &graph)) return 2;
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  WingResult result;
+  if (args.Has("parallel")) {
+    ReceiptWingOptions options;
+    options.num_threads = threads;
+    options.num_partitions =
+        static_cast<int>(args.GetInt("partitions", 8));
+    result = ReceiptWingDecompose(graph, options);
+  } else {
+    result = WingDecompose(graph, threads);
+  }
+  std::printf("wing decomposition: max_wing=%llu\n%s\n",
+              static_cast<unsigned long long>(result.MaxWingNumber()),
+              result.stats.ToString().c_str());
+  const std::string output = args.Get("output");
+  if (!output.empty()) {
+    if (!WriteCounts(output, result.wing_numbers)) {
+      std::fprintf(stderr, "failed to write '%s'\n", output.c_str());
+      return 2;
+    }
+    std::printf("wing numbers written to %s\n", output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    Usage();
+    return 0;
+  }
+  const Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "decompose") return CmdDecompose(args);
+  if (command == "wing") return CmdWing(args);
+  return Usage();
+}

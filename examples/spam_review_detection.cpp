@@ -1,0 +1,79 @@
+// Spam-reviewer detection (§1): collusive spam reviewers rate the same
+// selected products, forming near-bicliques in the user×product graph. Tip
+// decomposition surfaces them: colluders share many butterflies, so their
+// tip numbers tower over organic users.
+//
+//   $ ./spam_review_detection
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "receipt/receipt_lib.h"
+
+namespace {
+
+constexpr receipt::VertexId kNumUsers = 3000;
+constexpr receipt::VertexId kNumProducts = 1200;
+constexpr receipt::VertexId kNumSpammers = 25;
+constexpr receipt::VertexId kNumTargetProducts = 18;
+
+}  // namespace
+
+int main() {
+  using namespace receipt;
+
+  // Synthetic marketplace: one collusive block (25 spammers × 18 boosted
+  // products, ~95% rating density) buried in 9000 organic ratings.
+  const std::vector<CommunitySpec> rings = {{.num_users = kNumSpammers,
+                                             .num_items = kNumTargetProducts,
+                                             .density = 0.95}};
+  const BipartiteGraph ratings =
+      AffiliationGraph(kNumUsers, kNumProducts, rings,
+                       /*background_edges=*/9000, /*seed=*/4242);
+  std::printf(
+      "marketplace: %u users x %u products, %llu ratings "
+      "(%u colluders planted on %u products)\n\n",
+      ratings.num_u(), ratings.num_v(),
+      static_cast<unsigned long long>(ratings.num_edges()), kNumSpammers,
+      kNumTargetProducts);
+
+  // Decompose the user side.
+  TipOptions options;
+  options.side = Side::kU;
+  options.num_threads = 4;
+  options.num_partitions = 20;
+  const TipResult result = ReceiptDecompose(ratings, options);
+
+  // Rank users by tip number.
+  std::vector<VertexId> ranked(ratings.num_u());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&](VertexId a, VertexId b) {
+    return result.tip_numbers[a] > result.tip_numbers[b];
+  });
+
+  std::printf("top-%u users by tip number:\n", kNumSpammers + 5);
+  int true_positives = 0;
+  for (VertexId i = 0; i < kNumSpammers + 5; ++i) {
+    const VertexId u = ranked[i];
+    const bool planted = u < kNumSpammers;  // colluders got ids 0..24
+    if (i < kNumSpammers && planted) ++true_positives;
+    std::printf("  #%-3u user %-5u theta=%-8llu %s\n", i + 1, u,
+                static_cast<unsigned long long>(result.tip_numbers[u]),
+                planted ? "<-- planted colluder" : "");
+  }
+  std::printf(
+      "\nprecision@%u = %.1f%% (the dense ring dominates the top of the "
+      "tip hierarchy)\n",
+      kNumSpammers, 100.0 * true_positives / kNumSpammers);
+
+  // The ring is also recoverable as a single k-tip at a high threshold:
+  // pick k at the planted block's scale.
+  const Count k = result.tip_numbers[ranked[kNumSpammers - 1]];
+  const auto tips = ExtractKTips(ratings, Side::kU, result.tip_numbers, k);
+  std::printf("\n%llu-tips found: %zu; largest has %zu members\n",
+              static_cast<unsigned long long>(k), tips.size(),
+              tips.empty() ? 0 : tips[0].vertices.size());
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef RECEIPT_BUTTERFLY_APPROX_COUNT_H_
+#define RECEIPT_BUTTERFLY_APPROX_COUNT_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Result of an approximate total-butterfly count.
+struct ApproxCountResult {
+  double estimate = 0.0;        ///< estimated ⊲⊳_G.
+  uint64_t samples = 0;         ///< samples actually drawn.
+  double relative_std_error = 0.0;  ///< sample-based σ/estimate (0 if unknown).
+};
+
+/// Uniform wedge-sampling estimator of the total butterfly count ⊲⊳_G
+/// (Sanei-Mehri et al., KDD'18 style): draw a uniform random wedge
+/// (v, {u1, u2}) with endpoints in U, test whether a second common neighbor
+/// closes it into a butterfly, and scale by W/2 where W is the number of
+/// unordered U-endpoint wedges (each butterfly contains exactly 2 such
+/// wedges).
+///
+/// Deterministic for a fixed seed; samples with replacement.
+ApproxCountResult ApproxTotalButterflies(const BipartiteGraph& graph,
+                                         uint64_t num_samples,
+                                         uint64_t seed);
+
+/// Per-vertex support estimator used for cheap workload triage (e.g.
+/// choosing which side to label U): samples `num_samples` wedges and
+/// attributes closed butterflies to their endpoints, returning an estimate
+/// of Σ_{u ∈ side} ⊲⊳_u (= 2·⊲⊳_G when side covers both butterfly
+/// endpoints).
+double ApproxSideSupportSum(const BipartiteGraph& graph, Side side,
+                            uint64_t num_samples, uint64_t seed);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_BUTTERFLY_APPROX_COUNT_H_

@@ -1,0 +1,137 @@
+#include "butterfly/butterfly_count.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace receipt {
+namespace {
+
+/// Per-thread scratch for Alg. 1: the dense wedge-aggregation array
+/// (θ(|W|) as in the batch mode of ParButterfly) plus the non-zero
+/// endpoint/wedge lists so only touched entries are visited and reset.
+struct CountScratch {
+  std::vector<uint32_t> wedge_count;              // indexed by endpoint id
+  std::vector<VertexId> nonzero_endpoints;        // nze
+  std::vector<std::pair<VertexId, VertexId>> wedges;  // nzw: (mid, end)
+  uint64_t wedges_traversed = 0;
+
+  void Resize(VertexId n) { wedge_count.assign(n, 0); }
+};
+
+}  // namespace
+
+void PerVertexButterflyCount(const DynamicGraph& graph, int num_threads,
+                             std::span<Count> support,
+                             uint64_t* wedges_traversed) {
+  const VertexId n = graph.num_vertices();
+  ParallelFor(n, num_threads, [&support](size_t w) { support[w] = 0; });
+
+  std::vector<CountScratch> scratch(static_cast<size_t>(num_threads));
+  for (auto& s : scratch) s.Resize(n);
+
+  ParallelForWithContext(
+      n, num_threads, scratch, [&](CountScratch& ctx, size_t sp_index) {
+        const VertexId sp = static_cast<VertexId>(sp_index);
+        if (!graph.IsAlive(sp)) return;
+        const VertexId sp_rank = graph.Rank(sp);
+        ctx.nonzero_endpoints.clear();
+        ctx.wedges.clear();
+
+        for (const VertexId mp : graph.Neighbors(sp)) {
+          if (!graph.IsAlive(mp)) continue;
+          const VertexId mp_rank = graph.Rank(mp);
+          for (const VertexId ep : graph.Neighbors(mp)) {
+            // Neighbors are sorted by ascending rank, so the first endpoint
+            // that fails the priority rule ends this wedge group (Alg. 1
+            // line 10).
+            const VertexId ep_rank = graph.Rank(ep);
+            if (ep_rank >= mp_rank || ep_rank >= sp_rank) break;
+            ++ctx.wedges_traversed;
+            if (!graph.IsAlive(ep)) continue;  // uncompacted dead entry
+            if (ctx.wedge_count[ep]++ == 0) ctx.nonzero_endpoints.push_back(ep);
+            ctx.wedges.emplace_back(mp, ep);
+          }
+        }
+
+        // Same-side contribution: every pair of wedges with endpoints
+        // (sp, ep) closes one butterfly; it belongs to both endpoints.
+        Count sp_total = 0;
+        for (const VertexId ep : ctx.nonzero_endpoints) {
+          const Count bcnt = Choose2(ctx.wedge_count[ep]);
+          if (bcnt > 0) {
+            AtomicAdd(&support[ep], bcnt);
+            sp_total += bcnt;
+          }
+        }
+        if (sp_total > 0) AtomicAdd(&support[sp], sp_total);
+
+        // Opposite-side contribution: a wedge (sp, mp, ep) participates in
+        // (wedge_count[ep] - 1) butterflies, all incident on its mid point.
+        for (const auto& [mp, ep] : ctx.wedges) {
+          const Count bcnt = ctx.wedge_count[ep] - 1;
+          if (bcnt > 0) AtomicAdd(&support[mp], bcnt);
+        }
+
+        for (const VertexId ep : ctx.nonzero_endpoints) ctx.wedge_count[ep] = 0;
+      });
+
+  if (wedges_traversed != nullptr) {
+    for (const auto& s : scratch) *wedges_traversed += s.wedges_traversed;
+  }
+}
+
+std::vector<Count> CountButterflies(const BipartiteGraph& graph,
+                                    int num_threads,
+                                    uint64_t* wedges_traversed) {
+  const DynamicGraph view(graph, graph.DegreeDescendingRanks());
+  std::vector<Count> support(graph.num_vertices(), 0);
+  PerVertexButterflyCount(view, num_threads, support, wedges_traversed);
+  return support;
+}
+
+Count TotalButterflies(const BipartiteGraph& graph, int num_threads) {
+  const std::vector<Count> support = CountButterflies(graph, num_threads);
+  Count total = 0;
+  for (VertexId u = 0; u < graph.num_u(); ++u) total += support[u];
+  return total / 2;
+}
+
+std::vector<Count> BruteForceButterflyCount(const BipartiteGraph& graph) {
+  std::vector<Count> support(graph.num_vertices(), 0);
+  // For each side, count common-neighbor pairs per same-side vertex pair.
+  for (const Side side : {Side::kU, Side::kV}) {
+    std::map<std::pair<VertexId, VertexId>, Count> pair_wedges;
+    const VertexId mid_begin = graph.SideBegin(side == Side::kU ? Side::kV
+                                                                : Side::kU);
+    const VertexId mid_end = graph.SideEnd(side == Side::kU ? Side::kV
+                                                            : Side::kU);
+    for (VertexId mid = mid_begin; mid < mid_end; ++mid) {
+      const auto nbrs = graph.Neighbors(mid);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          ++pair_wedges[{nbrs[i], nbrs[j]}];
+        }
+      }
+    }
+    for (const auto& [pair, wedge_count] : pair_wedges) {
+      const Count bcnt = Choose2(wedge_count);
+      support[pair.first] += bcnt;
+      support[pair.second] += bcnt;
+    }
+  }
+  return support;
+}
+
+Count SharedButterflies(const BipartiteGraph& graph, VertexId a, VertexId b) {
+  const auto na = graph.Neighbors(a);
+  const auto nb = graph.Neighbors(b);
+  std::vector<VertexId> common;
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(common));
+  return Choose2(common.size());
+}
+
+}  // namespace receipt

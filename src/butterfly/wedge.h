@@ -1,0 +1,38 @@
+#ifndef RECEIPT_BUTTERFLY_WEDGE_H_
+#define RECEIPT_BUTTERFLY_WEDGE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/parallel.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Per-vertex wedge counts of one side: w[u] = Σ_{v∈N(u)} (d_v − 1), the
+/// paper's static workload proxy (Alg. 3 input). Index i corresponds to the
+/// i-th vertex of the side (side-local id).
+inline std::vector<Count> WedgeCountsPerVertex(const BipartiteGraph& graph,
+                                               Side side, int num_threads) {
+  const VertexId begin = graph.SideBegin(side);
+  const VertexId n = graph.SideSize(side);
+  std::vector<Count> wedges(n, 0);
+  ParallelFor(n, num_threads, [&](size_t i) {
+    wedges[i] = graph.WedgeCount(begin + static_cast<VertexId>(i));
+  });
+  return wedges;
+}
+
+/// Σ of a wedge-count array over a list of vertices (C_peel of §4.1 for a
+/// peeling iteration's active set).
+inline Count PeelCost(std::span<const Count> wedge_counts,
+                      std::span<const VertexId> vertices) {
+  Count total = 0;
+  for (const VertexId u : vertices) total += wedge_counts[u];
+  return total;
+}
+
+}  // namespace receipt
+
+#endif  // RECEIPT_BUTTERFLY_WEDGE_H_

@@ -1,0 +1,162 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+namespace receipt {
+
+BipartiteGraph BipartiteGraph::FromEdges(VertexId num_u, VertexId num_v,
+                                         std::vector<Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.u >= num_u || e.v >= num_v) {
+      std::fprintf(stderr,
+                   "BipartiteGraph::FromEdges: edge (%u, %u) out of range "
+                   "(num_u=%u, num_v=%u)\n",
+                   e.u, e.v, num_u, num_v);
+      std::abort();
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  BipartiteGraph g;
+  g.num_u_ = num_u;
+  g.num_v_ = num_v;
+  const VertexId n = num_u + num_v;
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[num_u + e.v + 1];
+  }
+  for (VertexId w = 0; w < n; ++w) g.offsets_[w + 1] += g.offsets_[w];
+
+  g.adjacency_.resize(2 * edges.size());
+  std::vector<EdgeOffset> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    const VertexId gu = e.u;
+    const VertexId gv = num_u + e.v;
+    g.adjacency_[cursor[gu]++] = gv;
+    g.adjacency_[cursor[gv]++] = gu;
+  }
+  // Edges were sorted by (u, v), so U adjacency is already ascending; V
+  // adjacency is ascending too because u grows monotonically while filling.
+  // Sort defensively anyway (cheap, keeps the invariant independent of the
+  // fill order above).
+  for (VertexId w = 0; w < n; ++w) {
+    std::sort(g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[w]),
+              g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[w + 1]));
+  }
+  return g;
+}
+
+Count BipartiteGraph::WedgeCount(VertexId w) const {
+  Count total = 0;
+  for (VertexId x : Neighbors(w)) total += Degree(x) - 1;
+  return total;
+}
+
+Count BipartiteGraph::TotalWedges(Side side) const {
+  Count total = 0;
+  for (VertexId w = SideBegin(side); w < SideEnd(side); ++w) {
+    total += WedgeCount(w);
+  }
+  return total;
+}
+
+Count BipartiteGraph::CountingCostBound() const {
+  Count total = 0;
+  for (VertexId u = 0; u < num_u_; ++u) {
+    const Count du = Degree(u);
+    for (VertexId v : Neighbors(u)) total += std::min(du, Count{Degree(v)});
+  }
+  return total;
+}
+
+double BipartiteGraph::AverageDegree(Side side) const {
+  const VertexId n = SideSize(side);
+  if (n == 0) return 0.0;
+  return static_cast<double>(num_edges()) / static_cast<double>(n);
+}
+
+BipartiteGraph BipartiteGraph::SwappedCopy() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_u_; ++u) {
+    for (VertexId gv : Neighbors(u)) {
+      edges.push_back(Edge{.u = gv - num_u_, .v = u});
+    }
+  }
+  return FromEdges(num_v_, num_u_, std::move(edges));
+}
+
+std::vector<VertexId> BipartiteGraph::DegreeDescendingRanks() const {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+    const uint64_t da = Degree(a), db = Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<VertexId> rank(n);
+  for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+  return rank;
+}
+
+std::vector<BipartiteGraph::Edge> BipartiteGraph::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_u_; ++u) {
+    for (VertexId gv : Neighbors(u)) {
+      edges.push_back(Edge{.u = u, .v = gv - num_u_});
+    }
+  }
+  return edges;
+}
+
+std::string BipartiteGraph::Validate() const {
+  std::ostringstream err;
+  const VertexId n = num_vertices();
+  if (offsets_.size() != static_cast<size_t>(n) + 1) {
+    err << "offsets size " << offsets_.size() << " != n+1";
+    return err.str();
+  }
+  if (offsets_[0] != 0 || offsets_[n] != adjacency_.size()) {
+    err << "offset endpoints invalid";
+    return err.str();
+  }
+  for (VertexId w = 0; w < n; ++w) {
+    if (offsets_[w] > offsets_[w + 1]) {
+      err << "offsets not monotone at " << w;
+      return err.str();
+    }
+    auto nbrs = Neighbors(w);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId x = nbrs[i];
+      if (x >= n) {
+        err << "neighbor out of range: " << w << " -> " << x;
+        return err.str();
+      }
+      if (IsU(w) == IsU(x)) {
+        err << "edge within one side: " << w << " -> " << x;
+        return err.str();
+      }
+      if (i > 0 && nbrs[i - 1] >= x) {
+        err << "adjacency of " << w << " not strictly ascending";
+        return err.str();
+      }
+      // Symmetry: w must appear in x's list.
+      auto back = Neighbors(x);
+      if (!std::binary_search(back.begin(), back.end(), w)) {
+        err << "edge " << w << " -> " << x << " not symmetric";
+        return err.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace receipt

@@ -1,0 +1,125 @@
+#ifndef RECEIPT_GRAPH_BIPARTITE_GRAPH_H_
+#define RECEIPT_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace receipt {
+
+/// An undirected bipartite graph G(W = (U, V), E) in compressed sparse row
+/// form over the combined vertex space W.
+///
+/// U vertices occupy ids [0, num_u()), V vertices occupy ids
+/// [num_u(), num_u() + num_v()). Every edge (u, v) is stored twice: once in
+/// u's adjacency list and once in v's. Adjacency lists are sorted in
+/// ascending id order after Build(), which the butterfly-counting kernel
+/// relies on for its priority-break rule (Alg. 1 line 10) once ids are
+/// assigned by descending degree (see DegreeOrderedCopy()).
+///
+/// The class is immutable after construction; peeling algorithms layer
+/// mutable degree/alive state on top via DynamicGraph.
+class BipartiteGraph {
+ public:
+  /// An edge as a (u, v) pair in *side-local* coordinates: u ∈ [0, num_u),
+  /// v ∈ [0, num_v). Used by builders and generators.
+  struct Edge {
+    VertexId u;
+    VertexId v;
+    friend bool operator==(const Edge&, const Edge&) = default;
+    friend auto operator<=>(const Edge&, const Edge&) = default;
+  };
+
+  BipartiteGraph() = default;
+
+  /// Builds a graph from an edge list. Duplicate edges are removed. Edges
+  /// must satisfy u < num_u and v < num_v; violating edges abort the build
+  /// (programming error).
+  static BipartiteGraph FromEdges(VertexId num_u, VertexId num_v,
+                                  std::vector<Edge> edges);
+
+  // -- sizes ---------------------------------------------------------------
+  VertexId num_u() const { return num_u_; }
+  VertexId num_v() const { return num_v_; }
+  VertexId num_vertices() const { return num_u_ + num_v_; }
+  /// Number of undirected edges |E|.
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  // -- id helpers ----------------------------------------------------------
+  /// True if combined id `w` lies on the U side.
+  bool IsU(VertexId w) const { return w < num_u_; }
+  /// Combined id of the i-th V vertex.
+  VertexId VGlobal(VertexId v_local) const { return num_u_ + v_local; }
+  /// Side-local index of a combined id.
+  VertexId Local(VertexId w) const { return IsU(w) ? w : w - num_u_; }
+  /// First and one-past-last combined id of a side.
+  VertexId SideBegin(Side side) const { return side == Side::kU ? 0 : num_u_; }
+  VertexId SideEnd(Side side) const {
+    return side == Side::kU ? num_u_ : num_vertices();
+  }
+  VertexId SideSize(Side side) const {
+    return side == Side::kU ? num_u_ : num_v_;
+  }
+
+  // -- topology ------------------------------------------------------------
+  uint64_t Degree(VertexId w) const { return offsets_[w + 1] - offsets_[w]; }
+  std::span<const VertexId> Neighbors(VertexId w) const {
+    return {adjacency_.data() + offsets_[w],
+            adjacency_.data() + offsets_[w + 1]};
+  }
+  std::span<const EdgeOffset> offsets() const { return offsets_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
+
+  /// Offset of the first neighbor of `w` inside adjacency(). Together with
+  /// Degree(), this lets peeling code address per-edge side arrays.
+  EdgeOffset NeighborOffset(VertexId w) const { return offsets_[w]; }
+
+  // -- derived quantities ---------------------------------------------------
+  /// Number of wedges with *endpoint* w: Σ_{x ∈ N(w)} (d_x − 1). The paper's
+  /// w[u] (Alg. 3) and the per-vertex peeling cost model.
+  Count WedgeCount(VertexId w) const;
+
+  /// Σ over a side of WedgeCount — the ∧ workload of peeling that side.
+  Count TotalWedges(Side side) const;
+
+  /// Σ_{(u,v) ∈ E} min(d_u, d_v) — the vertex-priority counting cost bound
+  /// (C_rcnt in §4.1).
+  Count CountingCostBound() const;
+
+  /// Average degree of a side (|E| / side size).
+  double AverageDegree(Side side) const;
+
+  // -- transforms ------------------------------------------------------------
+  /// Returns a copy of this graph whose U side is the current V side and vice
+  /// versa. Peeling algorithms always decompose the U side; callers wanting a
+  /// V-side decomposition swap first.
+  BipartiteGraph SwappedCopy() const;
+
+  /// Returns a priority rank per vertex: rank[w] = position of w in
+  /// descending-degree order (rank 0 = highest degree). Ties broken by id so
+  /// the rank is a strict total order. This is the vertex-priority used by
+  /// the counting kernel; lower rank = higher priority.
+  std::vector<VertexId> DegreeDescendingRanks() const;
+
+  /// Returns the edge list in side-local coordinates (u ascending, then v).
+  std::vector<Edge> ToEdges() const;
+
+  /// Asserts internal invariants (sorted adjacency, symmetric edges,
+  /// consistent offsets). Returns an explanation on failure, empty on
+  /// success. Used by tests and after IO.
+  std::string Validate() const;
+
+ private:
+  VertexId num_u_ = 0;
+  VertexId num_v_ = 0;
+  std::vector<EdgeOffset> offsets_;   // size num_vertices()+1
+  std::vector<VertexId> adjacency_;   // size 2*|E|, sorted per vertex
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_GRAPH_BIPARTITE_GRAPH_H_

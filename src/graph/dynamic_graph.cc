@@ -1,0 +1,86 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace receipt {
+
+DynamicGraph::DynamicGraph(const BipartiteGraph& graph,
+                           std::span<const VertexId> rank)
+    : num_u_(graph.num_u()),
+      num_v_(graph.num_v()),
+      offsets_(graph.offsets().begin(), graph.offsets().end()),
+      adjacency_(graph.adjacency().begin(), graph.adjacency().end()),
+      degree_(num_vertices()),
+      alive_(num_vertices(), 1),
+      rank_(rank.begin(), rank.end()) {
+  const VertexId n = num_vertices();
+  for (VertexId w = 0; w < n; ++w) {
+    degree_[w] = offsets_[w + 1] - offsets_[w];
+    // Re-sort this vertex's neighbors by ascending priority rank; the
+    // counting kernel's break rule (Alg. 1 line 10) requires it.
+    auto begin = adjacency_.begin() + static_cast<int64_t>(offsets_[w]);
+    auto end = adjacency_.begin() + static_cast<int64_t>(offsets_[w + 1]);
+    std::sort(begin, end, [this](VertexId a, VertexId b) {
+      return rank_[a] < rank_[b];
+    });
+  }
+}
+
+void DynamicGraph::Compact(int num_threads) {
+  const VertexId n = num_vertices();
+  ParallelFor(n, num_threads, [this](size_t w) {
+    if (!alive_[w]) {
+      degree_[w] = 0;
+      return;
+    }
+    VertexId* begin = adjacency_.data() + offsets_[w];
+    uint64_t kept = 0;
+    const uint64_t deg = degree_[w];
+    for (uint64_t i = 0; i < deg; ++i) {
+      const VertexId x = begin[i];
+      if (alive_[x]) begin[kept++] = x;  // stable: preserves rank order
+    }
+    degree_[w] = kept;
+  });
+}
+
+uint64_t DynamicGraph::LiveEdgeSlots() const {
+  uint64_t total = 0;
+  const VertexId n = num_vertices();
+  for (VertexId w = 0; w < n; ++w) {
+    if (alive_[w]) total += degree_[w];
+  }
+  return total;
+}
+
+Count DynamicGraph::RecountCostBound() const {
+  Count total = 0;
+  for (VertexId u = 0; u < num_u_; ++u) {
+    if (!alive_[u]) continue;
+    const uint64_t du = degree_[u];
+    for (VertexId v : Neighbors(u)) {
+      if (alive_[v]) total += std::min<Count>(du, degree_[v]);
+    }
+  }
+  return total;
+}
+
+Count DynamicGraph::LiveWedgeCount(VertexId w) const {
+  Count total = 0;
+  for (VertexId x : Neighbors(w)) {
+    if (alive_[x] && degree_[x] > 0) total += degree_[x] - 1;
+  }
+  return total;
+}
+
+VertexId DynamicGraph::NumAlive(Side side) const {
+  const VertexId begin = side == Side::kU ? 0 : num_u_;
+  const VertexId end = side == Side::kU ? num_u_ : num_vertices();
+  VertexId count = 0;
+  for (VertexId w = begin; w < end; ++w) count += alive_[w];
+  return count;
+}
+
+}  // namespace receipt

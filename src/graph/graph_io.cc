@@ -1,0 +1,123 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace receipt {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x5245434549505431ULL;  // "RECEIPT1"
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<BipartiteGraph> LoadKonect(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open file: " + path);
+    return std::nullopt;
+  }
+  std::vector<BipartiteGraph::Edge> edges;
+  VertexId max_u = 0;
+  VertexId max_v = 0;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t u = 0;
+    int64_t v = 0;
+    if (!(ls >> u >> v)) {
+      SetError(error, "malformed line " + std::to_string(line_no) + ": '" +
+                          line + "'");
+      return std::nullopt;
+    }
+    if (u < 1 || v < 1) {
+      SetError(error, "ids must be >= 1 at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    const VertexId lu = static_cast<VertexId>(u - 1);
+    const VertexId lv = static_cast<VertexId>(v - 1);
+    max_u = std::max(max_u, lu + 1);
+    max_v = std::max(max_v, lv + 1);
+    edges.push_back({lu, lv});
+  }
+  return BipartiteGraph::FromEdges(max_u, max_v, std::move(edges));
+}
+
+bool SaveKonect(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "% bip unweighted\n";
+  out << "% " << graph.num_edges() << " " << graph.num_u() << " "
+      << graph.num_v() << "\n";
+  for (const auto& e : graph.ToEdges()) {
+    out << (e.u + 1) << " " << (e.v + 1) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<BipartiteGraph> LoadBinary(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open file: " + path);
+    return std::nullopt;
+  }
+  uint64_t magic = 0;
+  uint64_t num_u = 0;
+  uint64_t num_v = 0;
+  uint64_t num_edges = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&num_u), sizeof(num_u));
+  in.read(reinterpret_cast<char*>(&num_v), sizeof(num_v));
+  in.read(reinterpret_cast<char*>(&num_edges), sizeof(num_edges));
+  if (!in || magic != kBinaryMagic) {
+    SetError(error, "bad magic or truncated header");
+    return std::nullopt;
+  }
+  std::vector<BipartiteGraph::Edge> edges(num_edges);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(num_edges * sizeof(edges[0])));
+  if (!in) {
+    SetError(error, "truncated edge payload");
+    return std::nullopt;
+  }
+  for (const auto& e : edges) {
+    if (e.u >= num_u || e.v >= num_v) {
+      SetError(error, "edge out of declared range");
+      return std::nullopt;
+    }
+  }
+  return BipartiteGraph::FromEdges(static_cast<VertexId>(num_u),
+                                   static_cast<VertexId>(num_v),
+                                   std::move(edges));
+}
+
+bool SaveBinary(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint64_t magic = kBinaryMagic;
+  const uint64_t num_u = graph.num_u();
+  const uint64_t num_v = graph.num_v();
+  const auto edges = graph.ToEdges();
+  const uint64_t num_edges = edges.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&num_u), sizeof(num_u));
+  out.write(reinterpret_cast<const char*>(&num_v), sizeof(num_v));
+  out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(num_edges * sizeof(edges[0])));
+  return static_cast<bool>(out);
+}
+
+}  // namespace receipt

@@ -1,0 +1,36 @@
+#ifndef RECEIPT_GRAPH_GRAPH_IO_H_
+#define RECEIPT_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace receipt {
+
+/// Reads a KONECT-style bipartite edge list: one "u v" pair per line,
+/// 1-indexed ids, lines starting with '%' or '#' skipped. Vertex counts are
+/// inferred from the maximum ids. Returns std::nullopt (and sets *error when
+/// provided) on malformed input: non-numeric tokens, ids below 1, missing
+/// second column.
+///
+/// This is the format of the six datasets in Table 2 (KOBLENZ collection);
+/// drop a real KONECT "out.*" file here to run the benchmarks on it.
+std::optional<BipartiteGraph> LoadKonect(const std::string& path,
+                                         std::string* error = nullptr);
+
+/// Writes the graph in the KONECT text format accepted by LoadKonect.
+/// Returns false on IO failure.
+bool SaveKonect(const BipartiteGraph& graph, const std::string& path);
+
+/// Binary snapshot: magic, counts, CSR arrays. Fast reload for benchmarks.
+/// Returns std::nullopt on malformed/truncated files.
+std::optional<BipartiteGraph> LoadBinary(const std::string& path,
+                                         std::string* error = nullptr);
+
+/// Writes the binary snapshot format accepted by LoadBinary.
+bool SaveBinary(const BipartiteGraph& graph, const std::string& path);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_GRAPH_GRAPH_IO_H_

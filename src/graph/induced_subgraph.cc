@@ -1,0 +1,30 @@
+#include "graph/induced_subgraph.h"
+
+#include <unordered_map>
+
+namespace receipt {
+
+InducedSubgraph BuildInducedSubgraph(const BipartiteGraph& graph,
+                                     std::span<const VertexId> subset_u) {
+  InducedSubgraph result;
+  result.u_global.assign(subset_u.begin(), subset_u.end());
+
+  // Map touched V vertices to compact local ids in first-seen order.
+  std::unordered_map<VertexId, VertexId> v_local_of;
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId lu = 0; lu < subset_u.size(); ++lu) {
+    const VertexId gu = subset_u[lu];
+    for (VertexId gv : graph.Neighbors(gu)) {
+      auto [it, inserted] = v_local_of.try_emplace(
+          gv, static_cast<VertexId>(result.v_global.size()));
+      if (inserted) result.v_global.push_back(graph.Local(gv));
+      edges.push_back({lu, it->second});
+    }
+  }
+  result.graph = BipartiteGraph::FromEdges(
+      static_cast<VertexId>(subset_u.size()),
+      static_cast<VertexId>(result.v_global.size()), std::move(edges));
+  return result;
+}
+
+}  // namespace receipt

@@ -1,0 +1,33 @@
+#ifndef RECEIPT_GRAPH_INDUCED_SUBGRAPH_H_
+#define RECEIPT_GRAPH_INDUCED_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// The subgraph G_i induced on a subset U_i ⊆ U together with the entire V
+/// side, re-labelled into a compact local id space (Alg. 4 line 5).
+///
+/// Only V vertices with at least one neighbor in U_i are materialized, so
+/// the structure is proportional to the subset's edge count, not to |V|.
+/// Every butterfly between two members of U_i survives in `graph` because
+/// all their common neighbors are kept (Theorem 2's requirement).
+struct InducedSubgraph {
+  BipartiteGraph graph;              ///< local CSR: U' = subset, V' = touched V.
+  std::vector<VertexId> u_global;    ///< local u id -> global u id.
+  std::vector<VertexId> v_global;    ///< local v id -> global v id (side-local).
+};
+
+/// Builds the induced subgraph for `subset_u` (global U ids) of `graph`.
+/// Thread-safe for concurrent calls on disjoint subsets (RECEIPT FD builds
+/// one per task).
+InducedSubgraph BuildInducedSubgraph(const BipartiteGraph& graph,
+                                     std::span<const VertexId> subset_u);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_GRAPH_INDUCED_SUBGRAPH_H_

@@ -1,0 +1,110 @@
+#include "tip/bucket.h"
+
+#include <algorithm>
+
+namespace receipt {
+
+BucketQueue::BucketQueue(std::span<const Count> support,
+                         std::span<const VertexId> items, Count window)
+    : window_(window) {
+  buckets_.resize(static_cast<size_t>(window_));
+  VertexId max_vertex = 0;
+  for (const VertexId v : items) max_vertex = std::max(max_vertex, v);
+  latest_key_.assign(items.empty() ? 0 : max_vertex + 1, kInvalidCount);
+
+  Count min_key = kInvalidCount;
+  for (const VertexId v : items) min_key = std::min(min_key, support[v]);
+  base_ = items.empty() ? 0 : min_key;
+  for (const VertexId v : items) {
+    latest_key_[v] = support[v];
+    Insert(support[v], v);
+  }
+}
+
+void BucketQueue::Insert(Count key, VertexId vertex) {
+  if (key < base_) {
+    // Below the window: peeling never does this (supports are clamped at
+    // the last extracted value), but arbitrary callers may. Stash in
+    // overflow and rebuild the window lazily on the next PopMin.
+    overflow_.emplace_back(key, vertex);
+    needs_rebase_ = true;
+  } else if (InWindow(key)) {
+    buckets_[static_cast<size_t>(key - base_)].emplace_back(key, vertex);
+  } else {
+    overflow_.emplace_back(key, vertex);
+  }
+}
+
+void BucketQueue::Update(VertexId vertex, Count new_key) {
+  if (vertex >= latest_key_.size()) return;
+  const Count cur = latest_key_[vertex];
+  if (cur == kInvalidCount || cur == new_key) return;  // extracted / no-op
+  latest_key_[vertex] = new_key;
+  Insert(new_key, vertex);
+}
+
+bool BucketQueue::Rebase() {
+  // The window is fully drained; every current entry lives in overflow.
+  Count new_base = kInvalidCount;
+  size_t current = 0;
+  for (size_t i = 0; i < overflow_.size(); ++i) {
+    const auto& [key, vertex] = overflow_[i];
+    if (latest_key_[vertex] != key) continue;  // stale
+    overflow_[current++] = overflow_[i];
+    new_base = std::min(new_base, key);
+  }
+  overflow_.resize(current);
+  if (overflow_.empty()) return false;
+  base_ = new_base;
+  cursor_ = 0;
+  ++rebase_count_;
+  std::vector<Entry> keep;
+  for (const Entry& e : overflow_) {
+    if (InWindow(e.first)) {
+      buckets_[static_cast<size_t>(e.first - base_)].push_back(e);
+    } else {
+      keep.push_back(e);
+    }
+  }
+  overflow_ = std::move(keep);
+  return true;
+}
+
+std::optional<std::pair<Count, std::vector<VertexId>>> BucketQueue::PopMin() {
+  if (needs_rebase_) {
+    // An insert landed below the window base: pour every bucket back into
+    // overflow and rebuild the window around the new global minimum.
+    for (auto& bucket : buckets_) {
+      overflow_.insert(overflow_.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+    needs_rebase_ = false;
+    if (!Rebase()) return std::nullopt;
+  }
+  while (true) {
+    while (cursor_ < static_cast<size_t>(window_)) {
+      auto& bucket = buckets_[cursor_];
+      if (bucket.empty()) {
+        ++cursor_;
+        continue;
+      }
+      const Count value = base_ + static_cast<Count>(cursor_);
+      std::vector<VertexId> extracted;
+      for (const auto& [key, vertex] : bucket) {
+        if (latest_key_[vertex] == key) {
+          latest_key_[vertex] = kInvalidCount;
+          extracted.push_back(vertex);
+        }
+      }
+      bucket.clear();
+      if (!extracted.empty()) {
+        // Do not advance cursor_: the upcoming peel round may clamp
+        // supports to exactly `value`, refilling this bucket.
+        return std::make_pair(value, std::move(extracted));
+      }
+    }
+    if (!Rebase()) return std::nullopt;
+  }
+}
+
+}  // namespace receipt

@@ -1,0 +1,63 @@
+#ifndef RECEIPT_TIP_BUCKET_H_
+#define RECEIPT_TIP_BUCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace receipt {
+
+/// Julienne-style bucketing structure used by the ParB baseline (§5.1):
+/// a window of `window` width-1 open buckets over support values
+/// [base, base + window) plus one overflow bucket, with lazy deletion.
+///
+/// Entries are (key, vertex) pairs; an entry is *current* iff key equals the
+/// vertex's latest inserted key and the vertex has not been extracted yet.
+/// PopMin() returns the set of vertices holding the minimum current support
+/// value — exactly the per-iteration peel set of parallel bottom-up peeling.
+class BucketQueue {
+ public:
+  /// `support[v]` supplies initial keys for every vertex in `items`.
+  /// `window` is the number of open buckets (the paper/ParButterfly use
+  /// 128).
+  BucketQueue(std::span<const Count> support, std::span<const VertexId> items,
+              Count window = 128);
+
+  /// Re-files `vertex` under `new_key` (lazy: old entries become stale).
+  /// No-op for already extracted vertices.
+  void Update(VertexId vertex, Count new_key);
+
+  /// Extracts all vertices currently holding the minimum support value.
+  /// Returns (value, vertices), or nullopt when no current entries remain.
+  std::optional<std::pair<Count, std::vector<VertexId>>> PopMin();
+
+  /// Number of window-rebase passes performed (diagnostic).
+  uint64_t rebase_count() const { return rebase_count_; }
+
+ private:
+  using Entry = std::pair<Count, VertexId>;
+
+  bool InWindow(Count key) const { return key < base_ + window_; }
+  void Insert(Count key, VertexId vertex);
+  /// Refills the window from the overflow bucket; returns false when no
+  /// current entries exist anywhere.
+  bool Rebase();
+
+  Count window_;
+  Count base_ = 0;
+  size_t cursor_ = 0;                    // first possibly non-empty bucket
+  bool needs_rebase_ = false;            // an insert landed below base_
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;
+  std::vector<Count> latest_key_;        // per vertex; kInvalidCount = extracted
+  uint64_t rebase_count_ = 0;
+  uint64_t live_entries_ = 0;            // current (non-stale) entries
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_BUCKET_H_

@@ -1,0 +1,56 @@
+#include "tip/bup.h"
+
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/dynamic_graph.h"
+#include "tip/extraction.h"
+#include "tip/peel_update.h"
+#include "util/timer.h"
+
+namespace receipt {
+
+TipResult BupDecompose(const BipartiteGraph& graph,
+                       const TipOptions& options) {
+  const WallTimer total_timer;
+  const BipartiteGraph swapped =
+      options.side == Side::kV ? graph.SwappedCopy() : BipartiteGraph();
+  const BipartiteGraph& g = options.side == Side::kV ? swapped : graph;
+
+  TipResult result;
+  result.tip_numbers.assign(g.num_u(), 0);
+
+  DynamicGraph live(g, g.DegreeDescendingRanks());
+
+  // Initial support via pvBcnt (Alg. 2 line 1).
+  WallTimer count_timer;
+  std::vector<Count> support(g.num_vertices(), 0);
+  PerVertexButterflyCount(live, options.num_threads, support,
+                          &result.stats.wedges_counting);
+  result.stats.seconds_counting = count_timer.Seconds();
+
+  MinExtractor extractor(options.min_extraction, support, g.num_u());
+
+  UpdateScratch scratch;
+  scratch.Resize(g.num_vertices());
+
+  Count theta = 0;
+  while (auto entry = extractor.PopMin(support)) {
+    const auto [key, u] = *entry;
+    theta = std::max(theta, key);
+    result.tip_numbers[u] = theta;
+    live.Kill(u);
+    ++result.stats.peel_iterations;
+    result.stats.wedges_other += PeelUpdate</*kAtomic=*/false>(
+        live, u, theta, support, scratch,
+        [&extractor](VertexId u2, Count new_support) {
+          extractor.NotifyUpdate(u2, new_support);
+        });
+  }
+
+  result.stats.seconds_total = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace receipt

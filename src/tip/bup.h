@@ -1,0 +1,21 @@
+#ifndef RECEIPT_TIP_BUP_H_
+#define RECEIPT_TIP_BUP_H_
+
+#include "graph/bipartite_graph.h"
+#include "tip/tip_common.h"
+
+namespace receipt {
+
+/// Sequential Bottom-Up Peeling (Alg. 2) — the baseline tip decomposition of
+/// Sariyuce & Pinar: initialize supports with per-vertex butterfly counting,
+/// then repeatedly peel the minimum-support vertex, recording its support as
+/// its tip number and decrementing the supports of its 2-hop neighbors by
+/// the butterflies shared with the peeled vertex.
+///
+/// Only `options.side` is honoured (BUP is single-threaded; counting uses
+/// `options.num_threads`). Complexity O(Σ_{u∈U} Σ_{v∈N_u} d_v).
+TipResult BupDecompose(const BipartiteGraph& graph, const TipOptions& options);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_BUP_H_

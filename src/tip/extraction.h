@@ -1,0 +1,143 @@
+#ifndef RECEIPT_TIP_EXTRACTION_H_
+#define RECEIPT_TIP_EXTRACTION_H_
+
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tip/bucket.h"
+#include "tip/min_heap.h"
+#include "tip/pairing_heap.h"
+#include "tip/tip_common.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Uniform single-vertex min extraction over the three backends. Supports
+/// must only decrease between pops (the peeling invariant). Extracted
+/// vertices never return.
+class MinExtractor {
+ public:
+  /// Inserts vertices [0, n) with keys taken from `support`.
+  MinExtractor(MinExtraction kind, std::span<const Count> support,
+               VertexId n)
+      : kind_(kind), extracted_(n, 0) {
+    switch (kind_) {
+      case MinExtraction::kDAryHeap:
+        heap_.Reserve(n);
+        for (VertexId v = 0; v < n; ++v) heap_.Push(support[v], v);
+        break;
+      case MinExtraction::kBucketQueue: {
+        std::vector<VertexId> items(n);
+        std::iota(items.begin(), items.end(), 0);
+        bucket_ = std::make_unique<BucketQueue>(support, items);
+        break;
+      }
+      case MinExtraction::kPairingHeap:
+        pairing_.Reset(n);
+        for (VertexId v = 0; v < n; ++v) pairing_.Insert(v, support[v]);
+        break;
+    }
+  }
+
+  /// Records that v's support decreased to `new_support`.
+  void NotifyUpdate(VertexId v, Count new_support) {
+    if (extracted_[v]) return;
+    switch (kind_) {
+      case MinExtraction::kDAryHeap:
+        heap_.Push(new_support, v);
+        break;
+      case MinExtraction::kBucketQueue:
+        bucket_->Update(v, new_support);
+        break;
+      case MinExtraction::kPairingHeap:
+        pairing_.DecreaseKey(v, new_support);
+        break;
+    }
+  }
+
+  /// Extracts the vertex with minimum current support; nullopt when all
+  /// vertices have been extracted.
+  std::optional<std::pair<Count, VertexId>> PopMin(
+      std::span<const Count> support) {
+    switch (kind_) {
+      case MinExtraction::kDAryHeap: {
+        auto entry = heap_.PopValid(support, [this](VertexId v) {
+          return extracted_[v] == 0;
+        });
+        if (entry) extracted_[entry->second] = 1;
+        return entry;
+      }
+      case MinExtraction::kBucketQueue: {
+        // BucketQueue yields whole equal-support batches; serving them one
+        // by one is exact because peeling updates are clamped at the batch
+        // value, so cached members keep that support until extracted.
+        if (batch_position_ >= batch_.size()) {
+          auto round = bucket_->PopMin();
+          if (!round) return std::nullopt;
+          batch_value_ = round->first;
+          batch_ = std::move(round->second);
+          batch_position_ = 0;
+        }
+        const VertexId v = batch_[batch_position_++];
+        extracted_[v] = 1;
+        return std::make_pair(batch_value_, v);
+      }
+      case MinExtraction::kPairingHeap: {
+        auto entry = pairing_.PopMin();
+        if (entry) extracted_[entry->second] = 1;
+        return entry;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Re-seeds the structure with the current supports of all unextracted
+  /// vertices (used after a HUC re-count replaced the support array
+  /// wholesale).
+  void Rebuild(std::span<const Count> support) {
+    const VertexId n = static_cast<VertexId>(extracted_.size());
+    switch (kind_) {
+      case MinExtraction::kDAryHeap:
+        heap_.Clear();
+        for (VertexId v = 0; v < n; ++v) {
+          if (!extracted_[v]) heap_.Push(support[v], v);
+        }
+        break;
+      case MinExtraction::kBucketQueue: {
+        std::vector<VertexId> items;
+        for (VertexId v = 0; v < n; ++v) {
+          if (!extracted_[v]) items.push_back(v);
+        }
+        bucket_ = std::make_unique<BucketQueue>(support, items);
+        batch_.clear();
+        batch_position_ = 0;
+        break;
+      }
+      case MinExtraction::kPairingHeap:
+        // Re-counted supports never exceed the tracked keys (Lemma 1), so
+        // decrease-key is sufficient.
+        for (VertexId v = 0; v < n; ++v) {
+          if (!extracted_[v]) pairing_.DecreaseKey(v, support[v]);
+        }
+        break;
+    }
+  }
+
+ private:
+  MinExtraction kind_;
+  std::vector<uint8_t> extracted_;
+  LazyMinHeap<4> heap_;
+  std::unique_ptr<BucketQueue> bucket_;
+  std::vector<VertexId> batch_;
+  size_t batch_position_ = 0;
+  Count batch_value_ = 0;
+  PairingHeap pairing_;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_EXTRACTION_H_

@@ -1,0 +1,98 @@
+#ifndef RECEIPT_TIP_MIN_HEAP_H_
+#define RECEIPT_TIP_MIN_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace receipt {
+
+/// A d-ary min-heap of (support, vertex) entries with *lazy* decrease-key:
+/// every support update pushes a fresh entry; stale entries (whose key no
+/// longer matches the vertex's current support, or whose vertex is already
+/// peeled) are discarded on pop.
+///
+/// This is the "k-way min-heap for efficient retrieval of minimum support
+/// vertices" the paper found faster in practice than bucketing or Fibonacci
+/// heaps (§5.1). Laziness is sound here because supports only decrease
+/// during peeling: the freshest (smallest-key) entry for a vertex always
+/// pops before its stale ones.
+template <int Arity = 4>
+class LazyMinHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  using Entry = std::pair<Count, VertexId>;
+
+  void Reserve(size_t n) { heap_.reserve(n); }
+  void Clear() { heap_.clear(); }
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Inserts (key, vertex). Called at initialization and after every
+  /// support decrement.
+  void Push(Count key, VertexId vertex) {
+    heap_.emplace_back(key, vertex);
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Pops entries until one matches the vertex's current support and
+  /// liveness; returns it, or nullopt when the heap runs dry.
+  template <typename AliveFn>
+  std::optional<Entry> PopValid(std::span<const Count> support,
+                                AliveFn&& alive) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      PopTop();
+      if (alive(top.second) && support[top.second] == top.first) return top;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void PopTop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+
+  void SiftUp(size_t i) {
+    const Entry item = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / Arity;
+      if (heap_[parent].first <= item.first) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = item;
+  }
+
+  void SiftDown(size_t i) {
+    const Entry item = heap_[i];
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      size_t best = first_child;
+      const size_t last_child = std::min(first_child + Arity, n);
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (heap_[c].first < heap_[best].first) best = c;
+      }
+      if (heap_[best].first >= item.first) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = item;
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_MIN_HEAP_H_

@@ -1,0 +1,147 @@
+#ifndef RECEIPT_TIP_PAIRING_HEAP_H_
+#define RECEIPT_TIP_PAIRING_HEAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace receipt {
+
+/// An addressable pairing heap with decrease-key — the Fibonacci-heap-class
+/// structure Theorem 3 uses for its O(1)-amortized support updates. The
+/// paper found the lazy k-way min-heap faster in practice (§5.1); this
+/// implementation exists to reproduce that ablation
+/// (bench_ablation_extraction) and as an alternative extraction backend.
+///
+/// Each vertex owns at most one node, stored in a flat arena indexed by
+/// vertex id; no per-operation allocation after Reset().
+class PairingHeap {
+ public:
+  /// Clears the heap and sizes the arena for vertices in [0, n).
+  void Reset(VertexId n) {
+    nodes_.assign(n, Node{});
+    root_ = kNone;
+    size_ = 0;
+  }
+
+  bool Empty() const { return root_ == kNone; }
+  uint64_t Size() const { return size_; }
+
+  /// Inserts vertex `v` with `key`. v must not be present.
+  void Insert(VertexId v, Count key) {
+    Node& node = nodes_[v];
+    node.key = key;
+    node.child = kNone;
+    node.next = kNone;
+    node.prev = kNone;
+    node.present = true;
+    root_ = root_ == kNone ? v : Meld(root_, v);
+    ++size_;
+  }
+
+  /// Lowers v's key. No-op if the new key is not smaller. v must be present.
+  void DecreaseKey(VertexId v, Count new_key) {
+    Node& node = nodes_[v];
+    if (new_key >= node.key) return;
+    node.key = new_key;
+    if (v == root_) return;
+    Detach(v);
+    root_ = Meld(root_, v);
+  }
+
+  /// Removes and returns the minimum entry.
+  std::optional<std::pair<Count, VertexId>> PopMin() {
+    if (root_ == kNone) return std::nullopt;
+    const VertexId min = root_;
+    const Count key = nodes_[min].key;
+    root_ = MergePairs(nodes_[min].child);
+    if (root_ != kNone) nodes_[root_].prev = kNone;
+    nodes_[min].present = false;
+    --size_;
+    return std::make_pair(key, min);
+  }
+
+  /// True if v currently sits in the heap.
+  bool Contains(VertexId v) const {
+    return v < nodes_.size() && nodes_[v].present;
+  }
+
+  /// Current key of a present vertex.
+  Count KeyOf(VertexId v) const { return nodes_[v].key; }
+
+ private:
+  static constexpr VertexId kNone = kInvalidVertex;
+
+  struct Node {
+    Count key = 0;
+    VertexId child = kNone;
+    VertexId next = kNone;  // right sibling
+    VertexId prev = kNone;  // left sibling, or parent if leftmost
+    bool present = false;
+  };
+
+  /// Melds two root-level trees, returning the new root.
+  VertexId Meld(VertexId a, VertexId b) {
+    if (a == kNone) return b;
+    if (b == kNone) return a;
+    if (nodes_[b].key < nodes_[a].key) std::swap(a, b);
+    // b becomes a's leftmost child.
+    Node& pa = nodes_[a];
+    Node& pb = nodes_[b];
+    pb.prev = a;
+    pb.next = pa.child;
+    if (pa.child != kNone) nodes_[pa.child].prev = b;
+    pa.child = b;
+    pa.next = kNone;
+    return a;
+  }
+
+  /// Cuts v out of its sibling list (v is not the root).
+  void Detach(VertexId v) {
+    Node& node = nodes_[v];
+    const VertexId prev = node.prev;
+    if (nodes_[prev].child == v) {
+      nodes_[prev].child = node.next;  // v was the leftmost child
+    } else {
+      nodes_[prev].next = node.next;
+    }
+    if (node.next != kNone) nodes_[node.next].prev = prev;
+    node.next = kNone;
+    node.prev = kNone;
+  }
+
+  /// Two-pass pairing of a child list; returns the merged root.
+  VertexId MergePairs(VertexId first) {
+    if (first == kNone || nodes_[first].next == kNone) return first;
+    // Pass 1: meld adjacent pairs left to right.
+    std::vector<VertexId>& pairs = scratch_;
+    pairs.clear();
+    VertexId cursor = first;
+    while (cursor != kNone) {
+      const VertexId a = cursor;
+      const VertexId b = nodes_[a].next;
+      cursor = b == kNone ? kNone : nodes_[b].next;
+      nodes_[a].next = kNone;
+      if (b != kNone) nodes_[b].next = kNone;
+      pairs.push_back(Meld(a, b));
+    }
+    // Pass 2: meld right to left.
+    VertexId root = pairs.back();
+    for (size_t i = pairs.size() - 1; i-- > 0;) {
+      root = Meld(pairs[i], root);
+    }
+    return root;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<VertexId> scratch_;
+  VertexId root_ = kNone;
+  uint64_t size_ = 0;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_PAIRING_HEAP_H_

@@ -1,0 +1,92 @@
+#include "tip/parb.h"
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/dynamic_graph.h"
+#include "tip/bucket.h"
+#include "tip/peel_update.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace receipt {
+namespace {
+
+/// Per-thread buffer of (vertex, new_support) updates produced in one round,
+/// consumed for re-bucketing after the barrier.
+struct RoundBuffer {
+  std::vector<std::pair<VertexId, Count>> updates;
+  UpdateScratch scratch;
+};
+
+}  // namespace
+
+TipResult ParbDecompose(const BipartiteGraph& graph,
+                        const TipOptions& options) {
+  const WallTimer total_timer;
+  const BipartiteGraph swapped =
+      options.side == Side::kV ? graph.SwappedCopy() : BipartiteGraph();
+  const BipartiteGraph& g = options.side == Side::kV ? swapped : graph;
+  const int num_threads = options.num_threads;
+
+  TipResult result;
+  result.tip_numbers.assign(g.num_u(), 0);
+
+  DynamicGraph live(g, g.DegreeDescendingRanks());
+
+  WallTimer count_timer;
+  std::vector<Count> support(g.num_vertices(), 0);
+  PerVertexButterflyCount(live, num_threads, support,
+                          &result.stats.wedges_counting);
+  result.stats.seconds_counting = count_timer.Seconds();
+
+  std::vector<VertexId> all_u(g.num_u());
+  std::iota(all_u.begin(), all_u.end(), 0);
+  BucketQueue queue(support, all_u, /*window=*/128);
+
+  std::vector<RoundBuffer> buffers(static_cast<size_t>(num_threads));
+  for (auto& b : buffers) b.scratch.Resize(g.num_vertices());
+  PerThreadCounters wedge_counters(num_threads);
+
+  while (auto round = queue.PopMin()) {
+    const auto& [theta, peel_set] = *round;
+    ++result.stats.sync_rounds;
+    ++result.stats.peel_iterations;
+
+    // Delete the whole round's set first so concurrent updates never flow
+    // between two vertices peeled in the same round (Lemma 2, case 3).
+    for (const VertexId u : peel_set) {
+      result.tip_numbers[u] = theta;
+      live.Kill(u);
+    }
+
+    ParallelForWithContext(
+        peel_set.size(), num_threads, buffers,
+        [&](RoundBuffer& buf, size_t i) {
+          const VertexId u = peel_set[i];
+          const uint64_t wedges = PeelUpdate</*kAtomic=*/true>(
+              live, u, theta, support, buf.scratch,
+              [&buf](VertexId u2, Count new_support) {
+                buf.updates.emplace_back(u2, new_support);
+              });
+          wedge_counters.Add(ThreadId(), wedges);
+        });
+
+    // Re-bucket touched vertices (sequential; BucketQueue::Update dedups
+    // repeated updates that landed on the same key).
+    for (auto& buf : buffers) {
+      for (const auto& [vertex, ignored] : buf.updates) {
+        if (live.IsAlive(vertex)) queue.Update(vertex, support[vertex]);
+      }
+      buf.updates.clear();
+    }
+  }
+
+  result.stats.wedges_other = wedge_counters.Total();
+  result.stats.seconds_total = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace receipt

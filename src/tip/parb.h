@@ -1,0 +1,20 @@
+#ifndef RECEIPT_TIP_PARB_H_
+#define RECEIPT_TIP_PARB_H_
+
+#include "graph/bipartite_graph.h"
+#include "tip/tip_common.h"
+
+namespace receipt {
+
+/// ParB — the parallel bottom-up peeling baseline (§5.1): ParButterfly with
+/// BATCH-mode peeling [Shi & Shun] re-implemented on the Julienne bucketing
+/// structure with 128 open buckets. Every round extracts all vertices with
+/// the minimum support, peels them concurrently with atomic clamped support
+/// updates, and re-buckets the touched vertices. One thread barrier set per
+/// round ⇒ stats.sync_rounds = ρ of Table 3.
+TipResult ParbDecompose(const BipartiteGraph& graph,
+                        const TipOptions& options);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_PARB_H_

@@ -1,0 +1,73 @@
+#ifndef RECEIPT_TIP_PEEL_UPDATE_H_
+#define RECEIPT_TIP_PEEL_UPDATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "util/parallel.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Scratch space for one peel-update call (the `wdg_arr` of Alg. 2). One
+/// instance per thread; Resize() once per decomposition.
+struct UpdateScratch {
+  std::vector<uint32_t> wedge_count;  // dense, indexed by 2-hop neighbor id
+  std::vector<VertexId> touched;      // non-zero entries of wedge_count
+
+  void Resize(VertexId n) {
+    wedge_count.assign(n, 0);
+    touched.clear();
+  }
+};
+
+/// The support-update routine of Alg. 2 (lines 6-13), shared by BUP, ParB
+/// and both RECEIPT steps.
+///
+/// Peels `u` (which must already be marked dead in `graph`): traverses all
+/// live wedges (u, v, u2), aggregates shared-butterfly counts
+/// ⊲⊳_{u,u2} = C(common_live_neighbors, 2), and decrements each live u2's
+/// support, clamped from below at `floor` (the tip number of u, or the range
+/// lower bound θ(i) in RECEIPT CD — Lemma 2).
+///
+/// kAtomic selects lock-free clamped decrements for concurrent peeling.
+/// `on_updated(u2, new_support)` fires once per updated vertex (used to
+/// track candidates for the next active set / heap pushes / re-bucketing).
+///
+/// Returns the number of wedges traversed.
+template <bool kAtomic, typename OnUpdated>
+uint64_t PeelUpdate(const DynamicGraph& graph, VertexId u, Count floor,
+                    std::span<Count> support, UpdateScratch& scratch,
+                    OnUpdated&& on_updated) {
+  uint64_t wedges = 0;
+  for (const VertexId v : graph.Neighbors(u)) {
+    if (!graph.IsAlive(v)) continue;
+    for (const VertexId u2 : graph.Neighbors(v)) {
+      ++wedges;
+      if (!graph.IsAlive(u2)) continue;  // includes u itself (already dead)
+      if (scratch.wedge_count[u2]++ == 0) scratch.touched.push_back(u2);
+    }
+  }
+  for (const VertexId u2 : scratch.touched) {
+    const Count delta = Choose2(scratch.wedge_count[u2]);
+    scratch.wedge_count[u2] = 0;
+    if (delta == 0) continue;
+    Count new_support;
+    if constexpr (kAtomic) {
+      new_support = AtomicClampedSub(&support[u2], delta, floor);
+    } else {
+      const Count cur = support[u2];
+      new_support = (cur > floor + delta) ? cur - delta : floor;
+      support[u2] = new_support;
+    }
+    on_updated(u2, new_support);
+  }
+  scratch.touched.clear();
+  return wedges;
+}
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_PEEL_UPDATE_H_

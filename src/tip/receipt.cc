@@ -1,0 +1,31 @@
+#include "tip/receipt.h"
+
+#include <utility>
+
+#include "tip/receipt_cd.h"
+#include "tip/receipt_fd.h"
+#include "util/timer.h"
+
+namespace receipt {
+
+TipResult ReceiptDecompose(const BipartiteGraph& graph,
+                           const TipOptions& options) {
+  const WallTimer total_timer;
+  const BipartiteGraph swapped =
+      options.side == Side::kV ? graph.SwappedCopy() : BipartiteGraph();
+  const BipartiteGraph& g = options.side == Side::kV ? swapped : graph;
+
+  TipResult result;
+  result.tip_numbers.assign(g.num_u(), 0);
+
+  CdResult cd = ReceiptCd(g, options, &result.stats);
+  ReceiptFd(g, cd, options, result.tip_numbers, &result.stats);
+
+  result.range_bounds = std::move(cd.bounds);
+  result.subset_of = std::move(cd.subset_of);
+  result.subsets = std::move(cd.subsets);
+  result.stats.seconds_total = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace receipt

@@ -1,0 +1,28 @@
+#ifndef RECEIPT_TIP_RECEIPT_H_
+#define RECEIPT_TIP_RECEIPT_H_
+
+#include "graph/bipartite_graph.h"
+#include "tip/tip_common.h"
+
+namespace receipt {
+
+/// RECEIPT — REfine CoarsE-grained IndePendent Tasks (§3): the paper's
+/// two-step parallel tip decomposition.
+///
+/// Step 1 (Coarse-grained Decomposition) partitions the peeled side into
+/// ≤ P+1 subsets with non-overlapping tip-number ranges by concurrently
+/// peeling *all* vertices whose support lies in the current range; step 2
+/// (Fine-grained Decomposition) peels each subset's induced subgraph
+/// independently — subsets in parallel, each sequentially — to obtain exact
+/// tip numbers. Both the Hybrid Update Computation and Dynamic Graph
+/// Maintenance optimizations (§4) are on by default; disable them through
+/// `options` to reproduce the paper's RECEIPT- / RECEIPT-- ablations.
+///
+/// The result's tip_numbers are indexed by side-local vertex id of
+/// options.side and match sequential bottom-up peeling exactly (Theorem 2).
+TipResult ReceiptDecompose(const BipartiteGraph& graph,
+                           const TipOptions& options);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_RECEIPT_H_

@@ -1,0 +1,49 @@
+#ifndef RECEIPT_TIP_RECEIPT_CD_H_
+#define RECEIPT_TIP_RECEIPT_CD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "tip/tip_common.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Output of the Coarse-grained Decomposition step.
+struct CdResult {
+  /// θ(1)=0, θ(2), …, θ(P'+1): subset i (0-based) covers tip numbers in
+  /// [bounds[i], bounds[i+1]). The final bound is kInvalidCount if the
+  /// last subset absorbed every leftover vertex (its range is unbounded).
+  std::vector<Count> bounds;
+
+  /// U_1 … U_P' in side-local U ids, each in the order vertices were peeled.
+  std::vector<std::vector<VertexId>> subsets;
+
+  /// subset_of[u] = subset index of u.
+  std::vector<uint32_t> subset_of;
+
+  /// ⊲⊳init: the support of u after all lower subsets were fully peeled and
+  /// before its own subset's peeling began — the FD initialization vector.
+  std::vector<Count> init_support;
+};
+
+/// RECEIPT CD (Alg. 3): partitions the U side of `graph` into ≤ P+1 vertex
+/// subsets with non-overlapping tip-number ranges, by iteratively peeling
+/// *every* vertex whose support falls inside the current range (not just the
+/// minimum). Range upper bounds are chosen by the two-way adaptive rule of
+/// §3.1.1 so induced-subgraph workloads are balanced for FD.
+///
+/// Honours options.use_huc (Hybrid Update Computation, §4.1) and
+/// options.use_dgm (Dynamic Graph Maintenance, §4.2).
+///
+/// `graph` must already be oriented so the peeled side is U. Contributes
+/// wedges_counting/wedges_cd, sync_rounds, HUC/DGM counters and
+/// seconds_counting/seconds_cd to `*stats`.
+CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
+                   PeelStats* stats);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_RECEIPT_CD_H_

@@ -1,0 +1,187 @@
+#include "tip/receipt_fd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/dynamic_graph.h"
+#include "graph/induced_subgraph.h"
+#include "tip/extraction.h"
+#include "tip/peel_update.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace receipt {
+namespace {
+
+/// Peels one subset to completion (the body of Alg. 4 lines 5-10), entirely
+/// on one thread. Accumulates wedge/HUC/DGM counters into `*local_stats`.
+void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
+                const TipOptions& options, std::span<Count> tip_numbers,
+                PeelStats* local_stats) {
+  const std::vector<VertexId>& members = cd.subsets[sid];
+  if (members.empty()) return;
+
+  // Induce G_i on (U_i, V) and re-sort by local degree priority (Alg. 4
+  // line 5).
+  const InducedSubgraph induced = BuildInducedSubgraph(graph, members);
+  const BipartiteGraph& sg = induced.graph;
+  DynamicGraph live(sg, sg.DegreeDescendingRanks());
+  const VertexId num_local = sg.num_u();
+  const uint64_t local_edges = sg.num_edges();
+
+  // Support initialization from ⊲⊳init (Alg. 4 line 6).
+  std::vector<Count> support(sg.num_vertices(), 0);
+  for (VertexId lu = 0; lu < num_local; ++lu) {
+    support[lu] = cd.init_support[members[lu]];
+  }
+
+  // HUC bookkeeping: the external contribution of each vertex (butterflies
+  // shared with higher subsets) is fixed during FD and equals
+  // ⊲⊳init − (butterflies inside G_i) — §4.1.
+  std::vector<Count> external;
+  std::vector<Count> wedge_static;
+  std::vector<Count> recount_buffer;
+  Count recount_bound = 0;
+  if (options.use_huc) {
+    recount_buffer.assign(sg.num_vertices(), 0);
+    uint64_t count_wedges = 0;
+    PerVertexButterflyCount(live, /*num_threads=*/1, recount_buffer,
+                            &count_wedges);
+    local_stats->wedges_fd += count_wedges;
+    external.resize(num_local);
+    for (VertexId lu = 0; lu < num_local; ++lu) {
+      external[lu] = support[lu] >= recount_buffer[lu]
+                         ? support[lu] - recount_buffer[lu]
+                         : 0;
+    }
+    recount_bound = live.RecountCostBound();
+    wedge_static.resize(num_local);
+    for (VertexId lu = 0; lu < num_local; ++lu) {
+      wedge_static[lu] = sg.WedgeCount(lu);
+    }
+  }
+
+  MinExtractor extractor(options.min_extraction, support, num_local);
+
+  UpdateScratch scratch;
+  scratch.Resize(sg.num_vertices());
+
+  uint64_t wedges_since_compact = 0;
+  VertexId alive_count = num_local;
+  Count theta = cd.bounds[sid];  // tip numbers of this subset start at θ(i)
+
+  while (auto entry = extractor.PopMin(support)) {
+    const auto [key, lu] = *entry;
+    theta = std::max(theta, key);
+    tip_numbers[members[lu]] = theta;
+    live.Kill(lu);
+    --alive_count;
+    if (alive_count == 0) break;
+
+    if (options.use_huc && wedge_static[lu] > recount_bound) {
+      // Re-counting this small induced graph is cheaper than exploring the
+      // peeled vertex's wedges.
+      ++local_stats->huc_recounts;
+      live.Compact(/*num_threads=*/1);
+      ++local_stats->dgm_compactions;
+      wedges_since_compact = 0;
+      uint64_t recount_wedges = 0;
+      PerVertexButterflyCount(live, /*num_threads=*/1, recount_buffer,
+                              &recount_wedges);
+      local_stats->wedges_fd += recount_wedges;
+      for (VertexId lu2 = 0; lu2 < num_local; ++lu2) {
+        if (!live.IsAlive(lu2)) continue;
+        support[lu2] = std::max(theta, recount_buffer[lu2] + external[lu2]);
+      }
+      extractor.Rebuild(support);
+      recount_bound = live.RecountCostBound();
+    } else {
+      const uint64_t wedges = PeelUpdate</*kAtomic=*/false>(
+          live, lu, theta, support, scratch,
+          [&extractor](VertexId u2, Count new_support) {
+            extractor.NotifyUpdate(u2, new_support);
+          });
+      local_stats->wedges_fd += wedges;
+      wedges_since_compact += wedges;
+    }
+
+    if (options.use_dgm && wedges_since_compact > local_edges) {
+      live.Compact(/*num_threads=*/1);
+      ++local_stats->dgm_compactions;
+      wedges_since_compact = 0;
+      if (options.use_huc) recount_bound = live.RecountCostBound();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Count> ComputeSubsetWedgeCounts(const BipartiteGraph& graph,
+                                            std::span<const uint32_t> subset_of,
+                                            uint32_t num_subsets,
+                                            int num_threads) {
+  std::vector<Count> counts(num_subsets, 0);
+  ParallelFor(graph.num_v(), num_threads, [&](size_t v_local) {
+    const VertexId gv = graph.VGlobal(static_cast<VertexId>(v_local));
+    const auto nbrs = graph.Neighbors(gv);
+    std::vector<uint32_t> ids;
+    ids.reserve(nbrs.size());
+    for (const VertexId u : nbrs) ids.push_back(subset_of[u]);
+    std::sort(ids.begin(), ids.end());
+    size_t i = 0;
+    while (i < ids.size()) {
+      size_t j = i;
+      while (j < ids.size() && ids[j] == ids[i]) ++j;
+      const Count run = static_cast<Count>(j - i);
+      if (run >= 2) AtomicAdd(&counts[ids[i]], Choose2(run));
+      i = j;
+    }
+  });
+  return counts;
+}
+
+void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
+               const TipOptions& options, std::span<Count> tip_numbers,
+               PeelStats* stats) {
+  const WallTimer fd_timer;
+  const uint32_t num_subsets = static_cast<uint32_t>(cd.subsets.size());
+  if (num_subsets == 0) return;
+
+  // Workload-aware scheduling (§3.2.1): largest induced wedge count first.
+  std::vector<uint32_t> order(num_subsets);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.workload_aware_scheduling) {
+    const std::vector<Count> subset_wedges = ComputeSubsetWedgeCounts(
+        graph, cd.subset_of, num_subsets, options.num_threads);
+    std::stable_sort(order.begin(), order.end(),
+                     [&subset_wedges](uint32_t a, uint32_t b) {
+                       return subset_wedges[a] > subset_wedges[b];
+                     });
+  }
+
+  // Dynamic task allocation: idle threads atomically pop the next subset id
+  // (Alg. 4 lines 2-4). Threads only synchronize at the terminal join.
+  std::atomic<uint32_t> next_task{0};
+  std::vector<PeelStats> local_stats(
+      static_cast<size_t>(options.num_threads));
+#pragma omp parallel num_threads(options.num_threads)
+  {
+    PeelStats& local = local_stats[static_cast<size_t>(ThreadId())];
+    while (true) {
+      const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_subsets) break;
+      PeelSubset(graph, cd, order[k], options, tip_numbers, &local);
+    }
+  }
+  for (const PeelStats& local : local_stats) {
+    stats->wedges_fd += local.wedges_fd;
+    stats->huc_recounts += local.huc_recounts;
+    stats->dgm_compactions += local.dgm_compactions;
+  }
+  stats->seconds_fd = fd_timer.Seconds();
+}
+
+}  // namespace receipt

@@ -1,0 +1,41 @@
+#ifndef RECEIPT_TIP_RECEIPT_FD_H_
+#define RECEIPT_TIP_RECEIPT_FD_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "tip/receipt_cd.h"
+#include "tip/tip_common.h"
+#include "util/stats.h"
+
+namespace receipt {
+
+/// Number of wedges with both endpoints in each subset — Σ_v C(c_{v,i}, 2)
+/// where c_{v,i} = |N(v) ∩ U_i|. This is the induced-subgraph workload proxy
+/// used to order the FD task queue (Longest-Processing-Time rule, §3.2.1).
+std::vector<Count> ComputeSubsetWedgeCounts(const BipartiteGraph& graph,
+                                            std::span<const uint32_t> subset_of,
+                                            uint32_t num_subsets,
+                                            int num_threads);
+
+/// RECEIPT FD (Alg. 4): computes exact tip numbers by peeling each CD subset
+/// independently. Worker threads atomically pop subset ids from a task queue
+/// (sorted by decreasing induced wedge count when
+/// options.workload_aware_scheduling is set), build the induced subgraph,
+/// initialize supports from ⊲⊳init, and run sequential bottom-up peeling
+/// with a k-way min-heap. No thread synchronization occurs until the final
+/// join, so FD adds 0 to sync_rounds.
+///
+/// Honours options.use_huc (re-count within the induced subgraph plus the
+/// fixed external contribution ⊲⊳init − ⊲⊳in_G_i, §4.1) and options.use_dgm.
+///
+/// Writes θ_u into tip_numbers[u] (side-local ids of `graph`, which must be
+/// oriented with the peeled side as U — same orientation given to ReceiptCd).
+void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
+               const TipOptions& options, std::span<Count> tip_numbers,
+               PeelStats* stats);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_RECEIPT_FD_H_

@@ -1,0 +1,82 @@
+#ifndef RECEIPT_TIP_TIP_COMMON_H_
+#define RECEIPT_TIP_TIP_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// Minimum-support extraction backends for sequential bottom-up peeling
+/// (§5.1: "we use a k-way min-heap … we found it to be faster in practice
+/// than the bucketing structure of [51] or fibonacci heaps").
+enum class MinExtraction {
+  kDAryHeap,     ///< lazy 4-ary min-heap (the paper's choice)
+  kBucketQueue,  ///< Julienne-style 128-bucket structure
+  kPairingHeap,  ///< addressable pairing heap with decrease-key
+};
+
+/// Configuration for a tip decomposition run.
+struct TipOptions {
+  /// Which vertex set to decompose. Internally the graph is transposed for
+  /// Side::kV, so algorithms always peel "U".
+  Side side = Side::kU;
+
+  /// Number of OpenMP threads (T in the paper).
+  int num_threads = 1;
+
+  /// RECEIPT only: number of vertex subsets / tip-number ranges (P). The
+  /// paper uses 150 for all datasets (§5.1, Fig. 5).
+  int num_partitions = 150;
+
+  /// RECEIPT only: enable Hybrid Update Computation (§4.1). Disabling this
+  /// and DGM yields the paper's RECEIPT-- configuration.
+  bool use_huc = true;
+
+  /// RECEIPT only: enable Dynamic Graph Maintenance (§4.2). Disabling only
+  /// this yields the paper's RECEIPT- configuration.
+  bool use_dgm = true;
+
+  /// RECEIPT FD only: sort the task queue by decreasing induced-subgraph
+  /// wedge count (Longest-Processing-Time rule, §3.2.1 / Fig. 3) before
+  /// dynamic allocation. Disabling processes subsets in creation order.
+  bool workload_aware_scheduling = true;
+
+  /// BUP and RECEIPT FD: the min-support extraction structure (§5.1
+  /// implementation ablation; see bench_ablation_extraction).
+  MinExtraction min_extraction = MinExtraction::kDAryHeap;
+};
+
+/// Output of a tip decomposition.
+struct TipResult {
+  /// tip_numbers[i] = θ of the i-th vertex of the decomposed side
+  /// (side-local id).
+  std::vector<Count> tip_numbers;
+
+  /// Instrumentation (wedges, sync rounds, per-phase time).
+  PeelStats stats;
+
+  /// RECEIPT only — the coarse decomposition artifacts, kept for analysis
+  /// and tests (empty for BUP/ParB):
+  /// range_bounds = {θ(1), θ(2), …, θ(P'+1)}; subset i covers
+  /// [range_bounds[i], range_bounds[i+1]). The final bound is
+  /// kInvalidCount when the last subset is unbounded.
+  std::vector<Count> range_bounds;
+  /// subset_of[u] = index of the subset that u was assigned to.
+  std::vector<uint32_t> subset_of;
+  /// The subsets U_1 … U_P' in side-local ids, in peeling order.
+  std::vector<std::vector<VertexId>> subsets;
+
+  /// Maximum tip number (θ_max of Table 2).
+  Count MaxTipNumber() const {
+    Count max_tip = 0;
+    for (const Count t : tip_numbers) max_tip = max_tip < t ? t : max_tip;
+    return max_tip;
+  }
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_TIP_COMMON_H_

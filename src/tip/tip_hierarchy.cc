@@ -1,0 +1,96 @@
+#include "tip/tip_hierarchy.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "graph/induced_subgraph.h"
+
+namespace receipt {
+namespace {
+
+/// Minimal union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<KTip> ExtractKTips(const BipartiteGraph& graph, Side side,
+                               std::span<const Count> tip_numbers, Count k) {
+  const BipartiteGraph swapped =
+      side == Side::kV ? graph.SwappedCopy() : BipartiteGraph();
+  const BipartiteGraph& g = side == Side::kV ? swapped : graph;
+
+  std::vector<VertexId> members;
+  for (VertexId u = 0; u < g.num_u(); ++u) {
+    if (tip_numbers[u] >= k) members.push_back(u);
+  }
+  if (members.empty()) return {};
+
+  const InducedSubgraph induced = BuildInducedSubgraph(g, members);
+  const BipartiteGraph& sg = induced.graph;
+
+  // Union vertices sharing at least one butterfly (≥ 2 common neighbors).
+  UnionFind components(members.size());
+  std::vector<uint32_t> wedge_count(sg.num_u(), 0);
+  std::vector<VertexId> touched;
+  for (VertexId lu = 0; lu < sg.num_u(); ++lu) {
+    touched.clear();
+    for (const VertexId lv : sg.Neighbors(lu)) {
+      for (const VertexId lu2 : sg.Neighbors(lv)) {
+        if (lu2 == lu) continue;
+        if (wedge_count[lu2]++ == 0) touched.push_back(lu2);
+      }
+    }
+    for (const VertexId lu2 : touched) {
+      if (wedge_count[lu2] >= 2) components.Union(lu, lu2);
+      wedge_count[lu2] = 0;
+    }
+  }
+
+  std::map<size_t, KTip> by_root;
+  for (size_t i = 0; i < members.size(); ++i) {
+    by_root[components.Find(i)].vertices.push_back(members[i]);
+  }
+  std::vector<KTip> tips;
+  tips.reserve(by_root.size());
+  for (auto& [root, tip] : by_root) {
+    std::sort(tip.vertices.begin(), tip.vertices.end());
+    tips.push_back(std::move(tip));
+  }
+  std::stable_sort(tips.begin(), tips.end(),
+                   [](const KTip& a, const KTip& b) {
+                     return a.vertices.size() > b.vertices.size();
+                   });
+  return tips;
+}
+
+std::vector<std::pair<Count, uint64_t>> TipHistogram(
+    std::span<const Count> tip_numbers) {
+  std::map<Count, uint64_t> histogram;
+  for (const Count t : tip_numbers) ++histogram[t];
+  return {histogram.begin(), histogram.end()};
+}
+
+}  // namespace receipt

@@ -1,0 +1,39 @@
+#ifndef RECEIPT_TIP_TIP_HIERARCHY_H_
+#define RECEIPT_TIP_TIP_HIERARCHY_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/types.h"
+
+namespace receipt {
+
+/// One maximal k-tip: a butterfly-connected set of peeled-side vertices
+/// (Definition 1). The induced subgraph is the listed vertices plus the
+/// entire opposite side.
+struct KTip {
+  std::vector<VertexId> vertices;  ///< side-local ids, sorted ascending.
+};
+
+/// Reconstructs all maximal k-tips of `side` from tip numbers: takes the
+/// vertices with θ ≥ k (the union of all k-tips) and splits them into
+/// butterfly-connected components (u ~ u' iff they share ≥ 2 common
+/// neighbors, i.e. at least one butterfly, within the induced subgraph).
+/// Components are returned largest-first.
+///
+/// This is the space-efficient retrieval that motivates computing tip
+/// numbers instead of materializing the hierarchy (§2.2).
+std::vector<KTip> ExtractKTips(const BipartiteGraph& graph, Side side,
+                               std::span<const Count> tip_numbers, Count k);
+
+/// Histogram of tip numbers: sorted (θ value, #vertices) pairs. The running
+/// sum over it is exactly the cumulative distribution of Fig. 4.
+std::vector<std::pair<Count, uint64_t>> TipHistogram(
+    std::span<const Count> tip_numbers);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_TIP_TIP_HIERARCHY_H_

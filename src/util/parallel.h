@@ -1,0 +1,132 @@
+#ifndef RECEIPT_UTIL_PARALLEL_H_
+#define RECEIPT_UTIL_PARALLEL_H_
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace receipt {
+
+/// Returns the number of OpenMP threads the next parallel region will use.
+inline int MaxThreads() { return omp_get_max_threads(); }
+
+/// Returns the calling thread's id inside a parallel region (0 outside).
+inline int ThreadId() { return omp_get_thread_num(); }
+
+/// Runs `fn(i)` for i in [0, n) across `num_threads` OpenMP threads with
+/// dynamic scheduling (the workloads in this library are highly skewed, e.g.
+/// wedge exploration per vertex, so static chunking load-balances poorly).
+template <typename Fn>
+void ParallelFor(size_t n, int num_threads, Fn&& fn) {
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64) num_threads(num_threads)
+  for (size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+/// ParallelFor with a per-thread context object: `fn(ctx[tid], i)`. Used to
+/// hand each thread its own wedge-aggregation scratch array (Alg. 1 line 5).
+template <typename Ctx, typename Fn>
+void ParallelForWithContext(size_t n, int num_threads, std::vector<Ctx>& ctxs,
+                            Fn&& fn) {
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(ctxs[0], i);
+    return;
+  }
+#pragma omp parallel num_threads(num_threads)
+  {
+    Ctx& ctx = ctxs[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 64)
+    for (size_t i = 0; i < n; ++i) {
+      fn(ctx, i);
+    }
+  }
+}
+
+/// Atomically adds `delta` to `*target` (relaxed ordering; all support
+/// counters in this library are reduced/validated after a barrier).
+template <typename T>
+inline void AtomicAdd(T* target, T delta) {
+  reinterpret_cast<std::atomic<T>*>(target)->fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+/// Atomically performs `*target = max(floor, *target - delta)` and returns the
+/// new value. This is the clamped support-decrement of Alg. 2 line 13 /
+/// Lemma 2: concurrent decrements from different peeled vertices must not be
+/// lost, and support never drops below the floor (current tip number / range
+/// lower bound).
+template <typename T>
+inline T AtomicClampedSub(T* target, T delta, T floor) {
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  T cur = a->load(std::memory_order_relaxed);
+  while (true) {
+    T next = (cur > floor + delta) ? cur - delta : floor;
+    if (a->compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+/// Atomically sets `*target = max(*target, value)`.
+template <typename T>
+inline void AtomicMax(T* target, T value) {
+  auto* a = reinterpret_cast<std::atomic<T>*>(target);
+  T cur = a->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !a->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Exclusive prefix sum over `values`, returning the total. values[i] becomes
+/// the sum of the original values[0..i).
+template <typename T>
+T ExclusivePrefixSum(std::vector<T>& values) {
+  T running = 0;
+  for (auto& v : values) {
+    T next = running + v;
+    v = running;
+    running = next;
+  }
+  return running;
+}
+
+/// A cache-line padded counter; one per thread, folded at the end of a phase.
+/// Avoids false sharing on the hot wedge-traversal counters.
+struct alignas(64) PaddedCounter {
+  uint64_t value = 0;
+};
+
+/// A fixed-size set of per-thread counters with a fold operation.
+class PerThreadCounters {
+ public:
+  explicit PerThreadCounters(int num_threads)
+      : counters_(static_cast<size_t>(num_threads)) {}
+
+  /// Adds `delta` to the calling thread's slice. Must be called with a thread
+  /// id < num_threads used at construction.
+  void Add(int tid, uint64_t delta) {
+    counters_[static_cast<size_t>(tid)].value += delta;
+  }
+
+  /// Sums all per-thread slices.
+  uint64_t Total() const {
+    uint64_t total = 0;
+    for (const auto& c : counters_) total += c.value;
+    return total;
+  }
+
+ private:
+  std::vector<PaddedCounter> counters_;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_UTIL_PARALLEL_H_

@@ -1,0 +1,63 @@
+#ifndef RECEIPT_UTIL_STATS_H_
+#define RECEIPT_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace receipt {
+
+/// Instrumentation counters reported by every decomposition algorithm.
+///
+/// These are exactly the quantities the paper evaluates: wedges traversed (Ó,
+/// Table 3 / Figs. 6 & 8), synchronization rounds (ρ, Table 3), and per-phase
+/// wall-clock time (Figs. 7 & 9). Counting a "wedge traversed" means one
+/// execution of the innermost loop body in Alg. 1 (counting) or Alg. 2
+/// (peeling update).
+struct PeelStats {
+  // -- wedge traversal, by phase ------------------------------------------
+  uint64_t wedges_counting = 0;   ///< pvBcnt wedges (initial support init).
+  uint64_t wedges_cd = 0;         ///< wedges traversed while peeling in CD
+                                  ///  (includes HUC re-count traversals).
+  uint64_t wedges_fd = 0;         ///< wedges traversed in FD (induced graphs,
+                                  ///  includes subgraph-local counting).
+  uint64_t wedges_other = 0;      ///< wedges traversed by baselines (BUP/ParB
+                                  ///  peeling phase).
+
+  // -- synchronization ----------------------------------------------------
+  /// Number of peeling rounds that end in a thread barrier. For ParB this is
+  /// one per minimum-support iteration; for RECEIPT CD one per range-peeling
+  /// iteration. RECEIPT FD contributes 0 (threads only join once at the end).
+  uint64_t sync_rounds = 0;
+
+  /// Total peeling iterations (same as sync_rounds for parallel algorithms;
+  /// for sequential BUP it is the number of vertices peeled).
+  uint64_t peel_iterations = 0;
+
+  // -- optimization activity ----------------------------------------------
+  uint64_t huc_recounts = 0;      ///< # iterations where HUC chose re-count.
+  uint64_t dgm_compactions = 0;   ///< # dynamic-graph compaction passes.
+
+  // -- structure ----------------------------------------------------------
+  uint64_t num_subsets = 0;       ///< P actually produced by RECEIPT CD.
+
+  // -- time, seconds ------------------------------------------------------
+  double seconds_counting = 0.0;  ///< pvBcnt.
+  double seconds_cd = 0.0;        ///< RECEIPT CD peeling.
+  double seconds_fd = 0.0;        ///< RECEIPT FD.
+  double seconds_total = 0.0;     ///< whole decomposition.
+
+  /// Sum of all wedge counters.
+  uint64_t TotalWedges() const {
+    return wedges_counting + wedges_cd + wedges_fd + wedges_other;
+  }
+
+  /// Accumulates `other` into this object (used to fold per-thread stats).
+  void Merge(const PeelStats& other);
+
+  /// Human-readable one-object dump (multi-line) for logs and examples.
+  std::string ToString() const;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_UTIL_STATS_H_

@@ -1,0 +1,29 @@
+#ifndef RECEIPT_UTIL_TIMER_H_
+#define RECEIPT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace receipt {
+
+/// Simple wall-clock timer used to attribute execution time to the phases of
+/// RECEIPT (pvBcnt / CD / FD, Figs. 8-9).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace receipt
+
+#endif  // RECEIPT_UTIL_TIMER_H_

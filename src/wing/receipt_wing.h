@@ -1,0 +1,42 @@
+#ifndef RECEIPT_WING_RECEIPT_WING_H_
+#define RECEIPT_WING_RECEIPT_WING_H_
+
+#include "graph/bipartite_graph.h"
+#include "wing/wing_decomposition.h"
+
+namespace receipt {
+
+/// Options for the parallel RECEIPT-style wing decomposition.
+struct ReceiptWingOptions {
+  int num_threads = 1;
+
+  /// Number of wing-number ranges / edge subsets. Wing-number ranges are
+  /// much narrower than tip-number ranges (§7), so a handful of partitions
+  /// suffices; large values inflate the fine-grained environment graphs.
+  int num_partitions = 8;
+};
+
+/// RECEIPT-W — the §7 extension direction made concrete: the two-step
+/// RECEIPT scheme applied to *edge* peeling (wing decomposition).
+///
+/// Step 1 (coarse): edges are partitioned into subsets with non-overlapping
+/// wing-number ranges by concurrently peeling every edge whose support lies
+/// in the current range. The §7 conflict the paper warns about — multiple
+/// edges of one butterfly peeled in the same iteration must not each apply
+/// the butterfly's update — is resolved by a priority rule: among the
+/// edges of a butterfly peeled in the same round, only the smallest edge id
+/// applies the decrement to the butterfly's surviving edges.
+///
+/// Step 2 (fine): each subset is peeled sequentially against its
+/// *environment graph* (the union of its own and all higher subsets'
+/// edges — unlike tip decomposition, a butterfly's other two edges can lie
+/// in higher subsets), with supports initialized from the coarse step.
+/// Subsets are processed concurrently by a dynamic task queue.
+///
+/// Produces exactly the wing numbers of sequential WingDecompose.
+WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
+                                const ReceiptWingOptions& options);
+
+}  // namespace receipt
+
+#endif  // RECEIPT_WING_RECEIPT_WING_H_

@@ -1,0 +1,85 @@
+// Tests for the wedge-sampling approximate butterfly counter.
+
+#include "butterfly/approx_count.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/generators.h"
+
+namespace receipt {
+namespace {
+
+TEST(ApproxCountTest, ExactOnCompleteBipartite) {
+  // Every wedge in K_{a,b} closes with the same count, so even the
+  // estimator is exact regardless of which wedges are drawn.
+  const BipartiteGraph g = CompleteBipartite(6, 5);
+  const ApproxCountResult r = ApproxTotalButterflies(g, 500, 7);
+  EXPECT_DOUBLE_EQ(r.estimate,
+                   static_cast<double>(Choose2(6) * Choose2(5)));
+  EXPECT_EQ(r.samples, 500u);
+  EXPECT_DOUBLE_EQ(r.relative_std_error, 0.0);
+}
+
+TEST(ApproxCountTest, ZeroOnButterflyFreeGraphs) {
+  EXPECT_DOUBLE_EQ(ApproxTotalButterflies(Star(30), 200, 1).estimate, 0.0);
+  const BipartiteGraph empty = BipartiteGraph::FromEdges(5, 5, {});
+  const ApproxCountResult r = ApproxTotalButterflies(empty, 200, 1);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+  EXPECT_EQ(r.samples, 0u);  // no wedges to sample
+}
+
+TEST(ApproxCountTest, DeterministicForFixedSeed) {
+  const BipartiteGraph g = ChungLuBipartite(200, 150, 900, 0.5, 0.5, 401);
+  const ApproxCountResult a = ApproxTotalButterflies(g, 1000, 99);
+  const ApproxCountResult b = ApproxTotalButterflies(g, 1000, 99);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+TEST(ApproxCountTest, ConvergesToExactCount) {
+  const BipartiteGraph g = ChungLuBipartite(300, 200, 1500, 0.6, 0.6, 403);
+  const double exact = static_cast<double>(TotalButterflies(g, 2));
+  ASSERT_GT(exact, 0.0);
+  // Average several seeds at a healthy sample size; tolerance 15%.
+  double sum = 0.0;
+  constexpr int kSeeds = 8;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sum += ApproxTotalButterflies(g, 20000, 1000 + seed).estimate;
+  }
+  const double mean = sum / kSeeds;
+  EXPECT_NEAR(mean / exact, 1.0, 0.15)
+      << "mean=" << mean << " exact=" << exact;
+}
+
+TEST(ApproxCountTest, ReportsStdErrorOnSkewedGraphs) {
+  const BipartiteGraph g = ChungLuBipartite(500, 100, 2000, 0.3, 0.9, 405);
+  const ApproxCountResult r = ApproxTotalButterflies(g, 5000, 11);
+  EXPECT_GT(r.estimate, 0.0);
+  EXPECT_GT(r.relative_std_error, 0.0);
+}
+
+TEST(ApproxCountTest, SideSupportSumIsTwiceTotal) {
+  const BipartiteGraph g = ChungLuBipartite(250, 180, 1200, 0.5, 0.5, 407);
+  const double exact_total = static_cast<double>(TotalButterflies(g, 2));
+  for (const Side side : {Side::kU, Side::kV}) {
+    double sum = 0.0;
+    constexpr int kSeeds = 8;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      sum += ApproxSideSupportSum(g, side, 20000, 2000 + seed);
+    }
+    const double mean = sum / kSeeds;
+    EXPECT_NEAR(mean / (2.0 * exact_total), 1.0, 0.2) << SideName(side);
+  }
+}
+
+TEST(ApproxCountTest, ZeroSamplesIsSafe) {
+  const BipartiteGraph g = CompleteBipartite(4, 4);
+  const ApproxCountResult r = ApproxTotalButterflies(g, 0, 3);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+  EXPECT_EQ(r.samples, 0u);
+}
+
+}  // namespace
+}  // namespace receipt

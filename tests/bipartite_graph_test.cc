@@ -1,0 +1,157 @@
+// Unit tests for the CSR bipartite graph substrate.
+
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace receipt {
+namespace {
+
+using Edge = BipartiteGraph::Edge;
+
+BipartiteGraph MakeSmall() {
+  // U = {0,1,2}, V = {0,1}; edges: (0,0) (0,1) (1,0) (2,1).
+  return BipartiteGraph::FromEdges(3, 2,
+                                   {{0, 0}, {0, 1}, {1, 0}, {2, 1}});
+}
+
+TEST(BipartiteGraphTest, SizesAndDegrees) {
+  const BipartiteGraph g = MakeSmall();
+  EXPECT_EQ(g.num_u(), 3u);
+  EXPECT_EQ(g.num_v(), 2u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(g.VGlobal(0)), 2u);  // v0: u0, u1
+  EXPECT_EQ(g.Degree(g.VGlobal(1)), 2u);  // v1: u0, u2
+}
+
+TEST(BipartiteGraphTest, NeighborsSortedAndSymmetric) {
+  const BipartiteGraph g = MakeSmall();
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], g.VGlobal(0));
+  EXPECT_EQ(n0[1], g.VGlobal(1));
+  EXPECT_TRUE(g.Validate().empty()) << g.Validate();
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesRemoved) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(
+      2, 2, {{0, 0}, {0, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.Validate().empty());
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Validate().empty());
+}
+
+TEST(BipartiteGraphTest, IsolatedVerticesAllowed) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(5, 5, {{0, 0}});
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_EQ(g.Degree(g.VGlobal(4)), 0u);
+  EXPECT_TRUE(g.Validate().empty());
+}
+
+TEST(BipartiteGraphTest, SideHelpers) {
+  const BipartiteGraph g = MakeSmall();
+  EXPECT_TRUE(g.IsU(0));
+  EXPECT_TRUE(g.IsU(2));
+  EXPECT_FALSE(g.IsU(3));
+  EXPECT_EQ(g.Local(4), 1u);
+  EXPECT_EQ(g.Local(2), 2u);
+  EXPECT_EQ(g.SideBegin(Side::kU), 0u);
+  EXPECT_EQ(g.SideEnd(Side::kU), 3u);
+  EXPECT_EQ(g.SideBegin(Side::kV), 3u);
+  EXPECT_EQ(g.SideEnd(Side::kV), 5u);
+  EXPECT_EQ(g.SideSize(Side::kV), 2u);
+}
+
+TEST(BipartiteGraphTest, WedgeCount) {
+  const BipartiteGraph g = MakeSmall();
+  // u0 neighbors v0 (deg 2) and v1 (deg 2): wedges = 1 + 1 = 2.
+  EXPECT_EQ(g.WedgeCount(0), 2u);
+  // u1 neighbors v0 (deg 2): wedges = 1.
+  EXPECT_EQ(g.WedgeCount(1), 1u);
+  EXPECT_EQ(g.TotalWedges(Side::kU), 4u);
+  // v0 neighbors u0 (deg 2), u1 (deg 1): wedges = 1 + 0 = 1.
+  EXPECT_EQ(g.WedgeCount(g.VGlobal(0)), 1u);
+  EXPECT_EQ(g.TotalWedges(Side::kV), 2u);
+}
+
+TEST(BipartiteGraphTest, TotalWedgesMatchesDegreeFormula) {
+  const BipartiteGraph g = ChungLuBipartite(100, 70, 400, 0.5, 0.5, 3);
+  // Σ_{u∈U} Σ_{v∈N(u)} (d_v − 1) = Σ_{v∈V} d_v (d_v − 1).
+  Count by_v = 0;
+  for (VertexId v = g.SideBegin(Side::kV); v < g.SideEnd(Side::kV); ++v) {
+    by_v += g.Degree(v) * (g.Degree(v) - 1);
+  }
+  EXPECT_EQ(g.TotalWedges(Side::kU), by_v);
+}
+
+TEST(BipartiteGraphTest, CountingCostBoundIsSymmetricAndBounded) {
+  const BipartiteGraph g = ChungLuBipartite(100, 70, 400, 0.8, 0.4, 4);
+  const Count bound = g.CountingCostBound();
+  // Σ min(d_u, d_v) ≤ Σ d_u = 2|E| per side: compare against both wedges.
+  EXPECT_LE(bound, g.TotalWedges(Side::kU) + 2 * g.num_edges());
+  EXPECT_GT(bound, 0u);
+  // min is symmetric, so the swapped graph has the same bound.
+  EXPECT_EQ(g.SwappedCopy().CountingCostBound(), bound);
+}
+
+TEST(BipartiteGraphTest, SwappedCopySwapsSides) {
+  const BipartiteGraph g = MakeSmall();
+  const BipartiteGraph s = g.SwappedCopy();
+  EXPECT_EQ(s.num_u(), g.num_v());
+  EXPECT_EQ(s.num_v(), g.num_u());
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+  EXPECT_TRUE(s.Validate().empty()) << s.Validate();
+  // (u0, v1) in g becomes (u1, v0) in s.
+  const auto n1 = s.Neighbors(1);
+  EXPECT_TRUE(std::find(n1.begin(), n1.end(), s.VGlobal(0)) != n1.end());
+}
+
+TEST(BipartiteGraphTest, SwappedTwiceIsIdentity) {
+  const BipartiteGraph g = ChungLuBipartite(50, 30, 200, 0.4, 0.4, 6);
+  const BipartiteGraph round_trip = g.SwappedCopy().SwappedCopy();
+  EXPECT_EQ(round_trip.ToEdges(), g.ToEdges());
+}
+
+TEST(BipartiteGraphTest, DegreeDescendingRanksIsPermutationOrderedByDegree) {
+  const BipartiteGraph g = ChungLuBipartite(80, 60, 300, 0.7, 0.2, 8);
+  const std::vector<VertexId> rank = g.DegreeDescendingRanks();
+  ASSERT_EQ(rank.size(), g.num_vertices());
+  std::vector<VertexId> inverse(rank.size(), kInvalidVertex);
+  for (VertexId w = 0; w < rank.size(); ++w) {
+    ASSERT_LT(rank[w], rank.size());
+    ASSERT_EQ(inverse[rank[w]], kInvalidVertex) << "rank not a permutation";
+    inverse[rank[w]] = w;
+  }
+  for (VertexId r = 0; r + 1 < inverse.size(); ++r) {
+    EXPECT_GE(g.Degree(inverse[r]), g.Degree(inverse[r + 1]));
+  }
+}
+
+TEST(BipartiteGraphTest, ToEdgesRoundTrip) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 0}, {2, 1}};
+  const BipartiteGraph g = BipartiteGraph::FromEdges(3, 2, edges);
+  EXPECT_EQ(g.ToEdges(), edges);
+}
+
+TEST(BipartiteGraphTest, AverageDegree) {
+  const BipartiteGraph g = MakeSmall();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(Side::kU), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(Side::kV), 2.0);
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,85 @@
+// Determinism guarantees: the machine-independent quantities the paper
+// reports (wedge counts, sync rounds, subset structure) must be identical
+// across thread counts and repeated runs — this is what makes the benchmark
+// counters reproducible.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tip/parb.h"
+#include "tip/receipt.h"
+#include "wing/receipt_wing.h"
+#include "wing/wing_decomposition.h"
+
+namespace receipt {
+namespace {
+
+TipOptions Options(int threads) {
+  TipOptions options;
+  options.num_threads = threads;
+  options.num_partitions = 10;
+  return options;
+}
+
+TEST(DeterminismTest, ReceiptCountersInvariantAcrossThreads) {
+  const BipartiteGraph g = ChungLuBipartite(400, 250, 1800, 0.6, 0.7, 601);
+  const TipResult reference = ReceiptDecompose(g, Options(1));
+  for (const int threads : {2, 4, 8}) {
+    const TipResult r = ReceiptDecompose(g, Options(threads));
+    EXPECT_EQ(r.tip_numbers, reference.tip_numbers) << threads;
+    EXPECT_EQ(r.stats.TotalWedges(), reference.stats.TotalWedges())
+        << threads;
+    EXPECT_EQ(r.stats.sync_rounds, reference.stats.sync_rounds) << threads;
+    EXPECT_EQ(r.stats.huc_recounts, reference.stats.huc_recounts)
+        << threads;
+    EXPECT_EQ(r.stats.num_subsets, reference.stats.num_subsets) << threads;
+    EXPECT_EQ(r.range_bounds, reference.range_bounds) << threads;
+    EXPECT_EQ(r.subset_of, reference.subset_of) << threads;
+  }
+}
+
+TEST(DeterminismTest, ReceiptRepeatedRunsIdentical) {
+  const BipartiteGraph g = ChungLuBipartite(300, 200, 1400, 0.5, 0.8, 603);
+  const TipResult a = ReceiptDecompose(g, Options(4));
+  const TipResult b = ReceiptDecompose(g, Options(4));
+  EXPECT_EQ(a.tip_numbers, b.tip_numbers);
+  EXPECT_EQ(a.stats.TotalWedges(), b.stats.TotalWedges());
+  EXPECT_EQ(a.stats.dgm_compactions, b.stats.dgm_compactions);
+}
+
+TEST(DeterminismTest, ParbRoundsInvariantAcrossThreads) {
+  const BipartiteGraph g = ChungLuBipartite(300, 200, 1200, 0.5, 0.5, 607);
+  const TipResult reference = ParbDecompose(g, Options(1));
+  for (const int threads : {2, 4}) {
+    const TipResult r = ParbDecompose(g, Options(threads));
+    EXPECT_EQ(r.tip_numbers, reference.tip_numbers);
+    EXPECT_EQ(r.stats.sync_rounds, reference.stats.sync_rounds);
+    EXPECT_EQ(r.stats.wedges_other, reference.stats.wedges_other);
+  }
+}
+
+TEST(DeterminismTest, ReceiptWingInvariantAcrossThreadsAndPartitions) {
+  const BipartiteGraph g = ChungLuBipartite(100, 70, 450, 0.5, 0.6, 609);
+  const WingResult reference = WingDecompose(g, 1);
+  for (const int threads : {1, 2, 4}) {
+    for (const int partitions : {2, 8, 32}) {
+      ReceiptWingOptions options;
+      options.num_threads = threads;
+      options.num_partitions = partitions;
+      const WingResult r = ReceiptWingDecompose(g, options);
+      EXPECT_EQ(r.wing_numbers, reference.wing_numbers)
+          << "T=" << threads << " P=" << partitions;
+    }
+  }
+}
+
+TEST(DeterminismTest, GeneratorsStableAcrossCalls) {
+  for (const std::string& name : PaperAnalogueNames()) {
+    const BipartiteGraph a = MakePaperAnalogue(name);
+    const BipartiteGraph b = MakePaperAnalogue(name);
+    EXPECT_EQ(a.ToEdges(), b.ToEdges()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace receipt

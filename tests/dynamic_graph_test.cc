@@ -1,0 +1,120 @@
+// Unit tests for DynamicGraph: kill/compact semantics, rank ordering, cost
+// models (§4.2 Dynamic Graph Maintenance substrate).
+
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace receipt {
+namespace {
+
+DynamicGraph MakeLive(const BipartiteGraph& g) {
+  return DynamicGraph(g, g.DegreeDescendingRanks());
+}
+
+TEST(DynamicGraphTest, InitialStateMirrorsGraph) {
+  const BipartiteGraph g = ChungLuBipartite(50, 30, 200, 0.5, 0.5, 31);
+  const DynamicGraph live = MakeLive(g);
+  EXPECT_EQ(live.num_u(), g.num_u());
+  EXPECT_EQ(live.num_v(), g.num_v());
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    EXPECT_TRUE(live.IsAlive(w));
+    EXPECT_EQ(live.Degree(w), g.Degree(w));
+  }
+  EXPECT_EQ(live.LiveEdgeSlots(), 2 * g.num_edges());
+  EXPECT_EQ(live.NumAlive(Side::kU), g.num_u());
+  EXPECT_EQ(live.NumAlive(Side::kV), g.num_v());
+}
+
+TEST(DynamicGraphTest, NeighborsSortedByRank) {
+  const BipartiteGraph g = ChungLuBipartite(50, 30, 200, 0.8, 0.8, 33);
+  const DynamicGraph live = MakeLive(g);
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    const auto nbrs = live.Neighbors(w);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(live.Rank(nbrs[i - 1]), live.Rank(nbrs[i]));
+    }
+  }
+}
+
+TEST(DynamicGraphTest, RecountCostBoundMatchesStaticGraph) {
+  const BipartiteGraph g = ChungLuBipartite(60, 40, 250, 0.6, 0.6, 35);
+  const DynamicGraph live = MakeLive(g);
+  EXPECT_EQ(live.RecountCostBound(), g.CountingCostBound());
+}
+
+TEST(DynamicGraphTest, KillThenCompactRemovesEdges) {
+  // K_{3,3}: killing one u must shave one entry off every v after Compact.
+  const BipartiteGraph g = CompleteBipartite(3, 3);
+  DynamicGraph live = MakeLive(g);
+  live.Kill(0);
+  EXPECT_FALSE(live.IsAlive(0));
+  // Before compaction, neighbor lists still include the dead vertex.
+  EXPECT_EQ(live.Degree(g.VGlobal(0)), 3u);
+  live.Compact(2);
+  EXPECT_EQ(live.Degree(g.VGlobal(0)), 2u);
+  EXPECT_EQ(live.Degree(g.VGlobal(1)), 2u);
+  EXPECT_EQ(live.Degree(g.VGlobal(2)), 2u);
+  EXPECT_EQ(live.Degree(0), 0u);  // dead vertex's own list is dropped
+  for (VertexId v = 0; v < 3; ++v) {
+    for (const VertexId u : live.Neighbors(g.VGlobal(v))) {
+      EXPECT_TRUE(live.IsAlive(u));
+    }
+  }
+  EXPECT_EQ(live.NumAlive(Side::kU), 2u);
+}
+
+TEST(DynamicGraphTest, CompactPreservesRankOrder) {
+  const BipartiteGraph g = ChungLuBipartite(80, 40, 300, 0.7, 0.7, 37);
+  DynamicGraph live = MakeLive(g);
+  for (VertexId u = 0; u < 40; u += 3) live.Kill(u);
+  live.Compact(2);
+  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+    if (!live.IsAlive(w)) continue;
+    const auto nbrs = live.Neighbors(w);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(live.Rank(nbrs[i - 1]), live.Rank(nbrs[i]));
+    }
+    for (const VertexId x : nbrs) EXPECT_TRUE(live.IsAlive(x));
+  }
+}
+
+TEST(DynamicGraphTest, LiveWedgeCountTracksCompaction) {
+  const BipartiteGraph g = CompleteBipartite(4, 3);
+  DynamicGraph live = MakeLive(g);
+  // In K_{4,3}, u0's wedges: 3 neighbors of degree 4 → 3·3 = 9.
+  EXPECT_EQ(live.LiveWedgeCount(0), 9u);
+  live.Kill(1);
+  live.Compact(1);
+  // Now every v has degree 3 → 3·2 = 6.
+  EXPECT_EQ(live.LiveWedgeCount(0), 6u);
+}
+
+TEST(DynamicGraphTest, RecountCostBoundShrinksAfterKills) {
+  const BipartiteGraph g = ChungLuBipartite(100, 60, 400, 0.6, 0.8, 39);
+  DynamicGraph live = MakeLive(g);
+  const Count before = live.RecountCostBound();
+  for (VertexId u = 0; u < 50; ++u) live.Kill(u);
+  live.Compact(2);
+  const Count after = live.RecountCostBound();
+  EXPECT_LT(after, before);
+}
+
+TEST(DynamicGraphTest, KillAllYieldsEmptyLiveGraph) {
+  const BipartiteGraph g = CompleteBipartite(3, 3);
+  DynamicGraph live = MakeLive(g);
+  for (VertexId u = 0; u < 3; ++u) live.Kill(u);
+  live.Compact(1);
+  EXPECT_EQ(live.NumAlive(Side::kU), 0u);
+  EXPECT_EQ(live.RecountCostBound(), 0u);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(live.Degree(g.VGlobal(v)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,117 @@
+// Unit tests for the synthetic dataset generators.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "butterfly/butterfly_count.h"
+
+namespace receipt {
+namespace {
+
+TEST(GeneratorsTest, RandomBipartiteSizesAndDeterminism) {
+  const BipartiteGraph a = RandomBipartite(100, 50, 400, 42);
+  EXPECT_EQ(a.num_u(), 100u);
+  EXPECT_EQ(a.num_v(), 50u);
+  EXPECT_EQ(a.num_edges(), 400u);
+  EXPECT_TRUE(a.Validate().empty());
+  const BipartiteGraph b = RandomBipartite(100, 50, 400, 42);
+  EXPECT_EQ(a.ToEdges(), b.ToEdges());
+  const BipartiteGraph c = RandomBipartite(100, 50, 400, 43);
+  EXPECT_NE(a.ToEdges(), c.ToEdges());
+}
+
+TEST(GeneratorsTest, RandomBipartiteCapsAtCompleteGraph) {
+  const BipartiteGraph g = RandomBipartite(5, 4, 1000, 1);
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(GeneratorsTest, RandomBipartiteDensePathUsesEnumeration) {
+  const BipartiteGraph g = RandomBipartite(20, 20, 350, 7);
+  EXPECT_EQ(g.num_edges(), 350u);
+  EXPECT_TRUE(g.Validate().empty());
+}
+
+TEST(GeneratorsTest, ChungLuDeterministicAndSkewed) {
+  const BipartiteGraph a = ChungLuBipartite(500, 300, 2000, 0.9, 0.9, 9);
+  const BipartiteGraph b = ChungLuBipartite(500, 300, 2000, 0.9, 0.9, 9);
+  EXPECT_EQ(a.ToEdges(), b.ToEdges());
+  EXPECT_TRUE(a.Validate().empty());
+  // Heavy skew: vertex 0 should have far more than the average degree.
+  EXPECT_GT(a.Degree(0), 5 * a.num_edges() / a.num_u());
+}
+
+TEST(GeneratorsTest, ChungLuZeroAlphaIsUniformish) {
+  const BipartiteGraph g = ChungLuBipartite(200, 200, 1000, 0.0, 0.0, 11);
+  EXPECT_EQ(g.num_edges(), 1000u);
+  // No vertex should dominate with alpha = 0.
+  for (VertexId u = 0; u < g.num_u(); ++u) EXPECT_LT(g.Degree(u), 40u);
+}
+
+TEST(GeneratorsTest, CompleteBipartiteClosedFormButterflies) {
+  const BipartiteGraph g = CompleteBipartite(6, 5);
+  EXPECT_EQ(g.num_edges(), 30u);
+  // ⊲⊳_G = C(6,2)·C(5,2) and each u participates in (6−1 choose 1 paired
+  // pairs) = 5·C(5,2) butterflies... precisely (a−1)·C(b,2) per u.
+  EXPECT_EQ(TotalButterflies(g, 2), Choose2(6) * Choose2(5));
+  const auto support = CountButterflies(g, 2);
+  for (VertexId u = 0; u < 6; ++u) {
+    EXPECT_EQ(support[u], 5 * Choose2(5));
+  }
+}
+
+TEST(GeneratorsTest, StarHasNoButterflies) {
+  const BipartiteGraph g = Star(20);
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_EQ(TotalButterflies(g, 1), 0u);
+}
+
+TEST(GeneratorsTest, AffiliationGraphPlantsDenseBlocks) {
+  const std::vector<CommunitySpec> communities = {
+      {.num_users = 10, .num_items = 8, .density = 1.0},
+      {.num_users = 6, .num_items = 5, .density = 1.0},
+  };
+  const BipartiteGraph g = AffiliationGraph(100, 50, communities, 50, 13);
+  EXPECT_TRUE(g.Validate().empty());
+  // Community members have at least their block degree.
+  for (VertexId u = 0; u < 10; ++u) EXPECT_GE(g.Degree(u), 8u);
+  for (VertexId u = 10; u < 16; ++u) EXPECT_GE(g.Degree(u), 5u);
+  // Background-only vertices are sparse.
+  uint64_t background_degree = 0;
+  for (VertexId u = 16; u < 100; ++u) background_degree += g.Degree(u);
+  EXPECT_LE(background_degree, 50u);
+}
+
+TEST(GeneratorsTest, SmallExampleGraphButterflies) {
+  const BipartiteGraph g = SmallExampleGraph();
+  EXPECT_EQ(g.num_u(), 8u);
+  EXPECT_EQ(g.num_v(), 7u);
+  const auto support = CountButterflies(g, 1);
+  const std::vector<Count> expected_u = {20, 20, 20, 20, 5, 5, 0, 0};
+  for (VertexId u = 0; u < 8; ++u) {
+    EXPECT_EQ(support[u], expected_u[u]) << "u" << u;
+  }
+}
+
+TEST(GeneratorsTest, PaperAnaloguesExistAndAreDeterministic) {
+  for (const std::string& name : PaperAnalogueNames()) {
+    const BipartiteGraph g = MakePaperAnalogue(name);
+    EXPECT_GT(g.num_edges(), 0u) << name;
+    EXPECT_TRUE(g.Validate().empty()) << name;
+    const BipartiteGraph again = MakePaperAnalogue(name);
+    EXPECT_EQ(g.num_edges(), again.num_edges()) << name;
+    EXPECT_FALSE(PaperAnalogueDescription(name).empty());
+  }
+}
+
+TEST(GeneratorsTest, TrackersAnalogueHasExtremeSkew) {
+  // The "tr" analogue must reproduce the TrU regime: V-side mega-hubs so
+  // U-side peeling wedges vastly exceed the counting bound (r ≫ 1, §5.2.2).
+  const BipartiteGraph g = MakePaperAnalogue("tr");
+  const double r = static_cast<double>(g.TotalWedges(Side::kU)) /
+                   static_cast<double>(g.CountingCostBound());
+  EXPECT_GT(r, 50.0);
+}
+
+}  // namespace
+}  // namespace receipt

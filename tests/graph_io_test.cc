@@ -1,0 +1,128 @@
+// Unit tests for graph IO: KONECT text format and binary snapshots,
+// including malformed-input failure injection.
+
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace receipt {
+namespace {
+
+class GraphIoTest : public testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& contents) {
+    std::ofstream out(path);
+    out << contents;
+  }
+};
+
+TEST_F(GraphIoTest, KonectRoundTrip) {
+  const BipartiteGraph g = ChungLuBipartite(60, 40, 250, 0.5, 0.5, 21);
+  const std::string path = TempPath("roundtrip.konect");
+  ASSERT_TRUE(SaveKonect(g, path));
+  std::string error;
+  const auto loaded = LoadKonect(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->ToEdges(), g.ToEdges());
+}
+
+TEST_F(GraphIoTest, KonectSkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.konect");
+  WriteFile(path, "% header\n\n# another comment\n1 1\n2 2\n");
+  const auto g = LoadKonect(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->num_u(), 2u);
+  EXPECT_EQ(g->num_v(), 2u);
+}
+
+TEST_F(GraphIoTest, KonectRejectsMalformedLine) {
+  const std::string path = TempPath("malformed.konect");
+  WriteFile(path, "1 1\nnot-a-number 2\n");
+  std::string error;
+  EXPECT_FALSE(LoadKonect(path, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, KonectRejectsMissingColumn) {
+  const std::string path = TempPath("missing.konect");
+  WriteFile(path, "1\n");
+  EXPECT_FALSE(LoadKonect(path).has_value());
+}
+
+TEST_F(GraphIoTest, KonectRejectsZeroIds) {
+  const std::string path = TempPath("zero.konect");
+  WriteFile(path, "0 1\n");
+  std::string error;
+  EXPECT_FALSE(LoadKonect(path, &error).has_value());
+  EXPECT_NE(error.find(">= 1"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, KonectMissingFile) {
+  std::string error;
+  EXPECT_FALSE(LoadKonect(TempPath("does_not_exist"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  const BipartiteGraph g = ChungLuBipartite(80, 50, 300, 0.7, 0.3, 23);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveBinary(g, path));
+  std::string error;
+  const auto loaded = LoadBinary(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->ToEdges(), g.ToEdges());
+  EXPECT_EQ(loaded->num_u(), g.num_u());
+  EXPECT_EQ(loaded->num_v(), g.num_v());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.bin");
+  WriteFile(path, "garbage data that is not a snapshot at all........");
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncatedPayload) {
+  const BipartiteGraph g = ChungLuBipartite(40, 30, 150, 0.4, 0.4, 29);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveBinary(g, path));
+  // Truncate: drop the trailing half of the file.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTripsBothFormats) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  const std::string konect_path = TempPath("empty.konect");
+  const std::string binary_path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveKonect(g, konect_path));
+  ASSERT_TRUE(SaveBinary(g, binary_path));
+  ASSERT_TRUE(LoadKonect(konect_path).has_value());
+  const auto loaded = LoadBinary(binary_path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,93 @@
+// Unit tests for induced subgraph construction (RECEIPT FD substrate): id
+// mappings and the Theorem-2 requirement that intra-subset butterflies
+// survive induction.
+
+#include "graph/induced_subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/generators.h"
+
+namespace receipt {
+namespace {
+
+TEST(InducedSubgraphTest, MappingsAreConsistent) {
+  const BipartiteGraph g = ChungLuBipartite(60, 40, 250, 0.5, 0.5, 41);
+  const std::vector<VertexId> subset = {3, 7, 10, 25, 59};
+  const InducedSubgraph induced = BuildInducedSubgraph(g, subset);
+  const BipartiteGraph& sg = induced.graph;
+
+  ASSERT_EQ(induced.u_global.size(), subset.size());
+  EXPECT_EQ(sg.num_u(), subset.size());
+  EXPECT_TRUE(sg.Validate().empty()) << sg.Validate();
+
+  // Every local edge corresponds to a global edge.
+  for (VertexId lu = 0; lu < sg.num_u(); ++lu) {
+    const VertexId gu = induced.u_global[lu];
+    EXPECT_EQ(sg.Degree(lu), g.Degree(gu));
+    for (const VertexId lv : sg.Neighbors(lu)) {
+      const VertexId gv = g.VGlobal(induced.v_global[sg.Local(lv)]);
+      const auto gn = g.Neighbors(gu);
+      EXPECT_TRUE(std::binary_search(gn.begin(), gn.end(), gv));
+    }
+  }
+}
+
+TEST(InducedSubgraphTest, OnlyTouchedVVerticesMaterialized) {
+  // u0 -> {v0}, u1 -> {v5}; inducing on {u0} must keep a single V vertex.
+  const BipartiteGraph g =
+      BipartiteGraph::FromEdges(2, 6, {{0, 0}, {1, 5}});
+  const std::vector<VertexId> subset = {0};
+  const InducedSubgraph induced = BuildInducedSubgraph(g, subset);
+  EXPECT_EQ(induced.graph.num_v(), 1u);
+  EXPECT_EQ(induced.v_global[0], 0u);
+  EXPECT_EQ(induced.graph.num_edges(), 1u);
+}
+
+TEST(InducedSubgraphTest, IntraSubsetButterfliesPreserved) {
+  const BipartiteGraph g = ChungLuBipartite(80, 50, 400, 0.6, 0.6, 43);
+  std::vector<VertexId> subset;
+  for (VertexId u = 0; u < g.num_u(); u += 2) subset.push_back(u);
+  const InducedSubgraph induced = BuildInducedSubgraph(g, subset);
+
+  const std::vector<Count> local_support =
+      BruteForceButterflyCount(induced.graph);
+  // Reference: count butterflies of the full graph restricted to pairs
+  // inside the subset.
+  const std::set<VertexId> in_subset(subset.begin(), subset.end());
+  for (VertexId lu = 0; lu < induced.graph.num_u(); ++lu) {
+    const VertexId gu = induced.u_global[lu];
+    Count expected = 0;
+    for (const VertexId gu2 : in_subset) {
+      if (gu2 == gu) continue;
+      expected += SharedButterflies(g, gu, gu2);
+    }
+    EXPECT_EQ(local_support[lu], expected) << "u" << gu;
+  }
+}
+
+TEST(InducedSubgraphTest, FullSubsetReproducesOriginalButterflies) {
+  const BipartiteGraph g = ChungLuBipartite(50, 30, 250, 0.4, 0.8, 47);
+  std::vector<VertexId> all(g.num_u());
+  for (VertexId u = 0; u < g.num_u(); ++u) all[u] = u;
+  const InducedSubgraph induced = BuildInducedSubgraph(g, all);
+  const auto original = CountButterflies(g, 1);
+  const auto induced_counts = CountButterflies(induced.graph, 1);
+  for (VertexId u = 0; u < g.num_u(); ++u) {
+    EXPECT_EQ(induced_counts[u], original[u]);
+  }
+}
+
+TEST(InducedSubgraphTest, EmptySubset) {
+  const BipartiteGraph g = CompleteBipartite(3, 3);
+  const InducedSubgraph induced = BuildInducedSubgraph(g, {});
+  EXPECT_EQ(induced.graph.num_u(), 0u);
+  EXPECT_EQ(induced.graph.num_v(), 0u);
+  EXPECT_EQ(induced.graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,157 @@
+// Cross-module integration and property tests: three-algorithm agreement on
+// the paper-analogue datasets, the peeling-certificate property of tip
+// numbers, monotonicity under edge addition, and the paper's headline
+// statistics relationships (RECEIPT ≪ ParB sync rounds, HUC wedge savings).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "butterfly/butterfly_count.h"
+#include "graph/generators.h"
+#include "graph/induced_subgraph.h"
+#include "tip/bup.h"
+#include "tip/parb.h"
+#include "tip/receipt.h"
+#include "tip/tip_hierarchy.h"
+
+namespace receipt {
+namespace {
+
+TipOptions Options(Side side, int partitions, int threads) {
+  TipOptions options;
+  options.side = side;
+  options.num_partitions = partitions;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(IntegrationTest, ThreeAlgorithmsAgreeOnAnalogue) {
+  // Scaled-down "it" analogue, both sides — a full Table-3-style row.
+  const BipartiteGraph g = ChungLuBipartite(800, 200, 4000, 0.40, 0.85, 201);
+  for (const Side side : {Side::kU, Side::kV}) {
+    const TipResult bup = BupDecompose(g, Options(side, 1, 1));
+    const TipResult parb = ParbDecompose(g, Options(side, 1, 3));
+    const TipResult rec = ReceiptDecompose(g, Options(side, 15, 3));
+    EXPECT_EQ(bup.tip_numbers, parb.tip_numbers) << SideName(side);
+    EXPECT_EQ(bup.tip_numbers, rec.tip_numbers) << SideName(side);
+  }
+}
+
+TEST(IntegrationTest, ReceiptSlashesSyncRounds) {
+  // The paper's headline claim (Table 3): ρ_RECEIPT ≪ ρ_ParB.
+  const BipartiteGraph g = ChungLuBipartite(1500, 600, 8000, 0.5, 0.8, 203);
+  const TipResult parb = ParbDecompose(g, Options(Side::kU, 1, 2));
+  const TipResult rec = ReceiptDecompose(g, Options(Side::kU, 15, 2));
+  EXPECT_GT(parb.stats.sync_rounds, 5 * rec.stats.sync_rounds)
+      << "ParB " << parb.stats.sync_rounds << " vs RECEIPT "
+      << rec.stats.sync_rounds;
+}
+
+TEST(IntegrationTest, OptimizationsReduceWedgeTraversal) {
+  // Fig. 6 shape: RECEIPT ≤ RECEIPT- ≤ RECEIPT-- in traversed wedges on a
+  // skewed (high-r) graph.
+  const BipartiteGraph g = ChungLuBipartite(3000, 800, 12000, 0.4, 1.0, 207);
+  TipOptions full = Options(Side::kU, 15, 2);
+  TipOptions no_dgm = full;
+  no_dgm.use_dgm = false;
+  TipOptions neither = no_dgm;
+  neither.use_huc = false;
+  const TipResult r_full = ReceiptDecompose(g, full);
+  const TipResult r_nodgm = ReceiptDecompose(g, no_dgm);
+  const TipResult r_neither = ReceiptDecompose(g, neither);
+  EXPECT_EQ(r_full.tip_numbers, r_neither.tip_numbers);
+  EXPECT_LE(r_full.stats.TotalWedges(), r_nodgm.stats.TotalWedges());
+  EXPECT_LT(r_nodgm.stats.TotalWedges(), r_neither.stats.TotalWedges());
+}
+
+TEST(IntegrationTest, PeelingCertificateProperty) {
+  // Definition of tip number: within the subgraph induced by
+  // {u' : θ_{u'} ≥ θ_u}, u participates in at least θ_u butterflies.
+  const BipartiteGraph g = ChungLuBipartite(120, 80, 550, 0.6, 0.6, 211);
+  const TipResult r = ReceiptDecompose(g, Options(Side::kU, 6, 2));
+  std::vector<Count> distinct = r.tip_numbers;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (const Count level : distinct) {
+    std::vector<VertexId> members;
+    for (VertexId u = 0; u < g.num_u(); ++u) {
+      if (r.tip_numbers[u] >= level) members.push_back(u);
+    }
+    const InducedSubgraph induced = BuildInducedSubgraph(g, members);
+    const auto support = BruteForceButterflyCount(induced.graph);
+    for (VertexId lu = 0; lu < induced.graph.num_u(); ++lu) {
+      const VertexId gu = induced.u_global[lu];
+      if (r.tip_numbers[gu] == level) {
+        EXPECT_GE(support[lu] + 0, level) << "u" << gu << " at level "
+                                          << level;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, TipNumbersMonotoneUnderEdgeAddition) {
+  // Adding edges can only create butterflies: θ'_u ≥ θ_u pointwise.
+  const BipartiteGraph small = ChungLuBipartite(80, 60, 300, 0.5, 0.5, 213);
+  std::vector<BipartiteGraph::Edge> edges = small.ToEdges();
+  const TipResult before =
+      ReceiptDecompose(small, Options(Side::kU, 6, 2));
+  // Densify: add 100 new deterministic edges.
+  for (VertexId i = 0; i < 100; ++i) {
+    edges.push_back({static_cast<VertexId>((i * 13) % 80),
+                     static_cast<VertexId>((i * 29) % 60)});
+  }
+  const BipartiteGraph bigger = BipartiteGraph::FromEdges(80, 60, edges);
+  const TipResult after =
+      ReceiptDecompose(bigger, Options(Side::kU, 6, 2));
+  for (VertexId u = 0; u < 80; ++u) {
+    EXPECT_GE(after.tip_numbers[u], before.tip_numbers[u]) << "u" << u;
+  }
+}
+
+TEST(IntegrationTest, EveryVertexInExactlyOneKTip) {
+  const BipartiteGraph g = ChungLuBipartite(150, 90, 650, 0.5, 0.7, 217);
+  const TipResult r = ReceiptDecompose(g, Options(Side::kU, 8, 2));
+  const Count k = r.MaxTipNumber() / 3;
+  const auto tips = ExtractKTips(g, Side::kU, r.tip_numbers, k);
+  std::vector<int> membership(g.num_u(), 0);
+  for (const KTip& tip : tips) {
+    for (const VertexId u : tip.vertices) ++membership[u];
+  }
+  for (VertexId u = 0; u < g.num_u(); ++u) {
+    EXPECT_EQ(membership[u], r.tip_numbers[u] >= k ? 1 : 0) << "u" << u;
+  }
+}
+
+TEST(IntegrationTest, MaxTipNumberBelowMaxButterflies) {
+  const BipartiteGraph g = ChungLuBipartite(200, 100, 800, 0.8, 0.8, 219);
+  const TipResult r = ReceiptDecompose(g, Options(Side::kU, 8, 2));
+  const auto support = CountButterflies(g, 2);
+  const Count max_support =
+      *std::max_element(support.begin(), support.begin() + g.num_u());
+  EXPECT_LE(r.MaxTipNumber(), max_support);
+}
+
+TEST(IntegrationTest, AffiliationSpamBlockSurfacesAtTop) {
+  // The spam-detection scenario (§1): a planted collusive block must hold
+  // the highest tip numbers.
+  std::vector<CommunitySpec> communities = {
+      {.num_users = 12, .num_items = 10, .density = 1.0}};
+  const BipartiteGraph g = AffiliationGraph(400, 200, communities, 1200, 221);
+  const TipResult r = ReceiptDecompose(g, Options(Side::kU, 8, 2));
+  // Rank vertices by tip number; the 12 colluders must be the top 12.
+  std::vector<VertexId> by_tip(g.num_u());
+  std::iota(by_tip.begin(), by_tip.end(), 0);
+  std::sort(by_tip.begin(), by_tip.end(), [&r](VertexId a, VertexId b) {
+    return r.tip_numbers[a] > r.tip_numbers[b];
+  });
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_LT(by_tip[i], 12u) << "rank " << i << " is vertex " << by_tip[i];
+  }
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,123 @@
+// Unit tests for the lazy d-ary min-heap used for minimum-support
+// extraction in BUP and RECEIPT FD.
+
+#include "tip/min_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace receipt {
+namespace {
+
+TEST(MinHeapTest, PopsInAscendingKeyOrder) {
+  LazyMinHeap<4> heap;
+  std::vector<Count> support = {50, 10, 30, 20, 40};
+  std::vector<uint8_t> alive(5, 1);
+  for (VertexId v = 0; v < 5; ++v) heap.Push(support[v], v);
+
+  std::vector<Count> popped;
+  const auto is_alive = [&alive](VertexId v) { return alive[v] != 0; };
+  while (auto e = heap.PopValid(support, is_alive)) {
+    popped.push_back(e->first);
+    alive[e->second] = 0;
+  }
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.size(), 5u);
+}
+
+TEST(MinHeapTest, StaleEntriesSkipped) {
+  LazyMinHeap<4> heap;
+  std::vector<Count> support = {9, 7};
+  std::vector<uint8_t> alive = {1, 1};
+  heap.Push(9, 0);
+  heap.Push(7, 1);
+  // Vertex 0's support decreases to 3; a fresh entry is pushed.
+  support[0] = 3;
+  heap.Push(3, 0);
+
+  const auto is_alive = [&alive](VertexId v) { return alive[v] != 0; };
+  auto first = heap.PopValid(support, is_alive);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->second, 0u);
+  EXPECT_EQ(first->first, 3u);
+  alive[0] = 0;
+
+  auto second = heap.PopValid(support, is_alive);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->second, 1u);
+
+  // The stale (9, 0) entry must be silently discarded.
+  alive[1] = 0;
+  EXPECT_FALSE(heap.PopValid(support, is_alive).has_value());
+}
+
+TEST(MinHeapTest, DeadVerticesSkipped) {
+  LazyMinHeap<4> heap;
+  std::vector<Count> support = {1, 2};
+  std::vector<uint8_t> alive = {0, 1};
+  heap.Push(1, 0);
+  heap.Push(2, 1);
+  const auto is_alive = [&alive](VertexId v) { return alive[v] != 0; };
+  auto e = heap.PopValid(support, is_alive);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->second, 1u);
+}
+
+TEST(MinHeapTest, EmptyHeap) {
+  LazyMinHeap<4> heap;
+  std::vector<Count> support;
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(
+      heap.PopValid(support, [](VertexId) { return true; }).has_value());
+}
+
+TEST(MinHeapTest, ClearResets) {
+  LazyMinHeap<4> heap;
+  std::vector<Count> support = {5};
+  heap.Push(5, 0);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(
+      heap.PopValid(support, [](VertexId) { return true; }).has_value());
+}
+
+template <typename HeapType>
+void RandomizedSortCheck(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr VertexId kN = 500;
+  std::vector<Count> support(kN);
+  std::vector<uint8_t> alive(kN, 1);
+  HeapType heap;
+  for (VertexId v = 0; v < kN; ++v) {
+    support[v] = rng() % 1000;
+    heap.Push(support[v], v);
+  }
+  // Random decreases with fresh pushes (mimicking peeling updates).
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId v = static_cast<VertexId>(rng() % kN);
+    if (support[v] > 0) {
+      support[v] -= 1 + rng() % support[v];
+      heap.Push(support[v], v);
+    }
+  }
+  Count last = 0;
+  size_t count = 0;
+  const auto is_alive = [&alive](VertexId v) { return alive[v] != 0; };
+  while (auto e = heap.PopValid(support, is_alive)) {
+    EXPECT_GE(e->first, last);
+    last = e->first;
+    alive[e->second] = 0;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST(MinHeapTest, RandomizedBinary) { RandomizedSortCheck<LazyMinHeap<2>>(71); }
+TEST(MinHeapTest, RandomizedQuad) { RandomizedSortCheck<LazyMinHeap<4>>(72); }
+TEST(MinHeapTest, RandomizedOct) { RandomizedSortCheck<LazyMinHeap<8>>(73); }
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,128 @@
+// Unit tests for the addressable pairing heap (decrease-key backend of the
+// §5.1 extraction ablation).
+
+#include "tip/pairing_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace receipt {
+namespace {
+
+TEST(PairingHeapTest, PopsInSortedOrder) {
+  PairingHeap heap;
+  heap.Reset(5);
+  const Count keys[] = {40, 10, 30, 20, 50};
+  for (VertexId v = 0; v < 5; ++v) heap.Insert(v, keys[v]);
+  std::vector<Count> popped;
+  while (auto e = heap.PopMin()) popped.push_back(e->first);
+  EXPECT_EQ(popped, (std::vector<Count>{10, 20, 30, 40, 50}));
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeapTest, DecreaseKeyMovesToFront) {
+  PairingHeap heap;
+  heap.Reset(3);
+  heap.Insert(0, 100);
+  heap.Insert(1, 200);
+  heap.Insert(2, 300);
+  heap.DecreaseKey(2, 50);
+  auto e = heap.PopMin();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->second, 2u);
+  EXPECT_EQ(e->first, 50u);
+}
+
+TEST(PairingHeapTest, DecreaseKeyOnRootAndNoOpIncrease) {
+  PairingHeap heap;
+  heap.Reset(2);
+  heap.Insert(0, 10);
+  heap.Insert(1, 20);
+  heap.DecreaseKey(0, 5);    // root decrease
+  heap.DecreaseKey(1, 999);  // would increase: must be ignored
+  auto first = heap.PopMin();
+  EXPECT_EQ(first->second, 0u);
+  EXPECT_EQ(first->first, 5u);
+  auto second = heap.PopMin();
+  EXPECT_EQ(second->first, 20u);
+}
+
+TEST(PairingHeapTest, ContainsAndKeyOf) {
+  PairingHeap heap;
+  heap.Reset(4);
+  heap.Insert(2, 7);
+  EXPECT_TRUE(heap.Contains(2));
+  EXPECT_FALSE(heap.Contains(1));
+  EXPECT_EQ(heap.KeyOf(2), 7u);
+  heap.PopMin();
+  EXPECT_FALSE(heap.Contains(2));
+}
+
+TEST(PairingHeapTest, ReinsertAfterPop) {
+  PairingHeap heap;
+  heap.Reset(2);
+  heap.Insert(0, 5);
+  heap.PopMin();
+  heap.Insert(0, 3);
+  auto e = heap.PopMin();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->first, 3u);
+}
+
+TEST(PairingHeapTest, RandomizedAgainstSortedReference) {
+  std::mt19937_64 rng(55);
+  constexpr VertexId kN = 800;
+  PairingHeap heap;
+  heap.Reset(kN);
+  std::vector<Count> key(kN);
+  for (VertexId v = 0; v < kN; ++v) {
+    key[v] = 100 + rng() % 100000;
+    heap.Insert(v, key[v]);
+  }
+  // Interleave random decreases with pops; popped sequence must be the
+  // same multiset and non-decreasing relative to the final keys.
+  std::vector<std::pair<Count, VertexId>> popped;
+  for (int round = 0; round < 200; ++round) {
+    for (int d = 0; d < 10; ++d) {
+      const VertexId v = static_cast<VertexId>(rng() % kN);
+      if (!heap.Contains(v) || key[v] == 0) continue;
+      key[v] -= 1 + rng() % key[v];
+      heap.DecreaseKey(v, key[v]);
+    }
+    if (auto e = heap.PopMin()) {
+      EXPECT_EQ(e->first, key[e->second]);
+      popped.push_back(*e);
+    }
+  }
+  while (auto e = heap.PopMin()) popped.push_back(*e);
+  EXPECT_EQ(popped.size(), kN);
+  // Every pop must have been the minimum of the still-present keys: check
+  // that keys never later pop below a previously popped value unless they
+  // were decreased after that pop — approximate by verifying the final
+  // min-extraction property on a decrease-free replay:
+  PairingHeap replay;
+  replay.Reset(kN);
+  for (VertexId v = 0; v < kN; ++v) replay.Insert(v, key[v]);
+  Count last = 0;
+  while (auto e = replay.PopMin()) {
+    EXPECT_GE(e->first, last);
+    last = e->first;
+  }
+}
+
+TEST(PairingHeapTest, ResetReusesArena) {
+  PairingHeap heap;
+  heap.Reset(3);
+  heap.Insert(0, 1);
+  heap.Reset(3);
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.Insert(0, 2);
+  EXPECT_EQ(heap.PopMin()->first, 2u);
+}
+
+}  // namespace
+}  // namespace receipt

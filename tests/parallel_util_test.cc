@@ -1,0 +1,121 @@
+// Tests for the parallel primitives substrate.
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace receipt {
+namespace {
+
+TEST(ParallelUtilTest, ParallelForCoversAllIndices) {
+  for (const int threads : {1, 2, 4}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(hits.size(), threads, [&hits](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelUtilTest, ParallelForWithContextUsesDistinctContexts) {
+  struct Ctx {
+    uint64_t sum = 0;
+  };
+  std::vector<Ctx> ctxs(4);
+  ParallelForWithContext(10000, 4, ctxs,
+                         [](Ctx& ctx, size_t i) { ctx.sum += i; });
+  uint64_t total = 0;
+  for (const Ctx& c : ctxs) total += c.sum;
+  EXPECT_EQ(total, 10000ull * 9999 / 2);
+}
+
+TEST(ParallelUtilTest, AtomicAddConcurrent) {
+  uint64_t value = 0;
+  ParallelFor(10000, 4, [&value](size_t) { AtomicAdd(&value, uint64_t{1}); });
+  EXPECT_EQ(value, 10000u);
+}
+
+TEST(ParallelUtilTest, AtomicClampedSubBasics) {
+  Count v = 100;
+  EXPECT_EQ(AtomicClampedSub(&v, Count{30}, Count{10}), 70u);
+  EXPECT_EQ(v, 70u);
+  EXPECT_EQ(AtomicClampedSub(&v, Count{65}, Count{10}), 10u);  // clamps
+  EXPECT_EQ(v, 10u);
+  EXPECT_EQ(AtomicClampedSub(&v, Count{5}, Count{10}), 10u);  // at floor
+}
+
+TEST(ParallelUtilTest, AtomicClampedSubExactBoundary) {
+  Count v = 40;
+  // cur − delta == floor exactly.
+  EXPECT_EQ(AtomicClampedSub(&v, Count{30}, Count{10}), 10u);
+}
+
+TEST(ParallelUtilTest, AtomicClampedSubConcurrentNeverBelowFloor) {
+  Count v = 1000;
+  ParallelFor(500, 4, [&v](size_t) {
+    AtomicClampedSub(&v, Count{3}, Count{100});
+  });
+  EXPECT_EQ(v, 100u);  // 500·3 > 900 available above the floor
+}
+
+TEST(ParallelUtilTest, AtomicClampedSubConcurrentExactSum) {
+  Count v = 10000;
+  ParallelFor(100, 4, [&v](size_t) {
+    AtomicClampedSub(&v, Count{7}, Count{0});
+  });
+  EXPECT_EQ(v, 10000u - 700u);  // no decrement may be lost (Lemma 2)
+}
+
+TEST(ParallelUtilTest, AtomicMax) {
+  Count v = 5;
+  AtomicMax(&v, Count{3});
+  EXPECT_EQ(v, 5u);
+  AtomicMax(&v, Count{9});
+  EXPECT_EQ(v, 9u);
+  ParallelFor(1000, 4, [&v](size_t i) { AtomicMax(&v, Count{i}); });
+  EXPECT_EQ(v, 999u);
+}
+
+TEST(ParallelUtilTest, ExclusivePrefixSum) {
+  std::vector<uint64_t> values = {3, 1, 4, 1, 5};
+  const uint64_t total = ExclusivePrefixSum(values);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(values, (std::vector<uint64_t>{0, 3, 4, 8, 9}));
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(ExclusivePrefixSum(empty), 0u);
+}
+
+TEST(ParallelUtilTest, PerThreadCountersFold) {
+  PerThreadCounters counters(4);
+  ParallelFor(4, 4, [&counters](size_t i) {
+    counters.Add(ThreadId(), i + 1);
+  });
+  EXPECT_EQ(counters.Total(), 1u + 2 + 3 + 4);
+}
+
+TEST(ParallelUtilTest, PeelStatsMergeAndToString) {
+  PeelStats a;
+  a.wedges_cd = 10;
+  a.sync_rounds = 2;
+  a.seconds_cd = 0.5;
+  PeelStats b;
+  b.wedges_cd = 5;
+  b.wedges_fd = 7;
+  b.huc_recounts = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.wedges_cd, 15u);
+  EXPECT_EQ(a.wedges_fd, 7u);
+  EXPECT_EQ(a.huc_recounts, 1u);
+  EXPECT_EQ(a.TotalWedges(), 22u);
+  EXPECT_NE(a.ToString().find("sync_rounds=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,85 @@
+// Tests for the ParB baseline (parallel bottom-up peeling on the bucketing
+// structure): exact agreement with sequential BUP plus its round-count
+// behavior.
+
+#include "tip/parb.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.h"
+#include "tip/bup.h"
+
+namespace receipt {
+namespace {
+
+TipOptions Options(Side side, int threads) {
+  TipOptions options;
+  options.side = side;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(ParbTest, SmallExampleKnownTipNumbers) {
+  const BipartiteGraph g = SmallExampleGraph();
+  const TipResult result = ParbDecompose(g, Options(Side::kU, 2));
+  const std::vector<Count> expected = {18, 18, 18, 18, 5, 5, 0, 0};
+  EXPECT_EQ(result.tip_numbers, expected);
+}
+
+TEST(ParbTest, RoundCountsDistinctSupportLevels) {
+  // SmallExampleGraph peels at supports {0, 5, 5, 18}: four vertices at 0
+  // (one round), u4+u5 (5 then 5 again after the clamp), then the core.
+  const BipartiteGraph g = SmallExampleGraph();
+  const TipResult result = ParbDecompose(g, Options(Side::kU, 2));
+  EXPECT_GE(result.stats.sync_rounds, 3u);
+  EXPECT_LE(result.stats.sync_rounds, 8u);
+}
+
+TEST(ParbTest, CompleteBipartitePeelsInTwoRounds) {
+  // All supports equal ⇒ round 1 takes every vertex.
+  const BipartiteGraph g = CompleteBipartite(6, 6);
+  const TipResult result = ParbDecompose(g, Options(Side::kU, 2));
+  EXPECT_EQ(result.stats.sync_rounds, 1u);
+  for (const Count t : result.tip_numbers) EXPECT_EQ(t, 5 * Choose2(6));
+}
+
+TEST(ParbTest, StatsPopulated) {
+  const BipartiteGraph g = ChungLuBipartite(200, 120, 900, 0.6, 0.6, 67);
+  const TipResult result = ParbDecompose(g, Options(Side::kU, 3));
+  EXPECT_GT(result.stats.sync_rounds, 0u);
+  EXPECT_GT(result.stats.wedges_counting, 0u);
+  EXPECT_GT(result.stats.wedges_other, 0u);
+  EXPECT_GT(result.stats.seconds_total, 0.0);
+}
+
+using ParbSweepParam = std::tuple<VertexId, VertexId, uint64_t, double,
+                                  double, uint64_t, Side, int>;
+
+class ParbSweep : public testing::TestWithParam<ParbSweepParam> {};
+
+TEST_P(ParbSweep, MatchesBup) {
+  const auto [nu, nv, m, au, av, seed, side, threads] = GetParam();
+  const BipartiteGraph g = ChungLuBipartite(nu, nv, m, au, av, seed);
+  const TipResult parb = ParbDecompose(g, Options(side, threads));
+  const TipResult bup = BupDecompose(g, Options(side, 1));
+  ASSERT_EQ(parb.tip_numbers.size(), bup.tip_numbers.size());
+  for (size_t u = 0; u < bup.tip_numbers.size(); ++u) {
+    ASSERT_EQ(parb.tip_numbers[u], bup.tip_numbers[u]) << "vertex " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParbSweep,
+    testing::Values(ParbSweepParam{60, 40, 250, 0.3, 0.3, 1, Side::kU, 2},
+                    ParbSweepParam{60, 40, 250, 0.3, 0.3, 1, Side::kV, 2},
+                    ParbSweepParam{120, 40, 500, 0.7, 0.9, 2, Side::kU, 4},
+                    ParbSweepParam{120, 40, 500, 0.7, 0.9, 2, Side::kV, 4},
+                    ParbSweepParam{80, 80, 600, 0.0, 0.0, 3, Side::kU, 1},
+                    ParbSweepParam{200, 150, 900, 0.5, 0.5, 4, Side::kU, 3},
+                    ParbSweepParam{200, 150, 900, 0.5, 0.5, 5, Side::kV, 3},
+                    ParbSweepParam{150, 100, 800, 0.6, 0.8, 6, Side::kU, 2}));
+
+}  // namespace
+}  // namespace receipt

@@ -1,0 +1,104 @@
+// End-to-end pipeline tests: generate → save → load → decompose → extract
+// hierarchy, plus randomized construction fuzzing of the graph substrate.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "tip/bup.h"
+#include "tip/receipt.h"
+#include "tip/tip_hierarchy.h"
+
+namespace receipt {
+namespace {
+
+TEST(PipelineTest, GenerateSaveLoadDecompose) {
+  const BipartiteGraph original =
+      ChungLuBipartite(200, 120, 900, 0.6, 0.6, 801);
+  const std::string konect_path = testing::TempDir() + "/pipeline.konect";
+  const std::string binary_path = testing::TempDir() + "/pipeline.bin";
+  ASSERT_TRUE(SaveKonect(original, konect_path));
+  ASSERT_TRUE(SaveBinary(original, binary_path));
+
+  const auto from_konect = LoadKonect(konect_path);
+  const auto from_binary = LoadBinary(binary_path);
+  ASSERT_TRUE(from_konect.has_value());
+  ASSERT_TRUE(from_binary.has_value());
+
+  TipOptions options;
+  options.num_threads = 2;
+  options.num_partitions = 8;
+  const TipResult a = ReceiptDecompose(original, options);
+  const TipResult b = ReceiptDecompose(*from_konect, options);
+  const TipResult c = ReceiptDecompose(*from_binary, options);
+  EXPECT_EQ(a.tip_numbers, b.tip_numbers);
+  EXPECT_EQ(a.tip_numbers, c.tip_numbers);
+}
+
+TEST(PipelineTest, AnaloguesDecomposeBothSidesConsistently) {
+  // Smallest analogue end-to-end: RECEIPT == BUP on both sides, and the
+  // top-level 1-tip covers exactly the butterfly-positive vertices.
+  const BipartiteGraph g = MakePaperAnalogue("it");
+  for (const Side side : {Side::kU, Side::kV}) {
+    TipOptions options;
+    options.side = side;
+    options.num_threads = 4;
+    options.num_partitions = 12;
+    const TipResult receipt = ReceiptDecompose(g, options);
+    TipOptions bup_options;
+    bup_options.side = side;
+    const TipResult bup = BupDecompose(g, bup_options);
+    ASSERT_EQ(receipt.tip_numbers, bup.tip_numbers) << SideName(side);
+
+    uint64_t positive = 0;
+    for (const Count t : receipt.tip_numbers) positive += t > 0;
+    const auto tips = ExtractKTips(g, side, receipt.tip_numbers, 1);
+    uint64_t covered = 0;
+    for (const KTip& tip : tips) covered += tip.vertices.size();
+    EXPECT_EQ(covered, positive) << SideName(side);
+  }
+}
+
+TEST(PipelineTest, FuzzedEdgeListsAlwaysValidate) {
+  std::mt19937_64 rng(811);
+  for (int trial = 0; trial < 50; ++trial) {
+    const VertexId nu = 1 + rng() % 40;
+    const VertexId nv = 1 + rng() % 40;
+    const size_t raw_edges = rng() % 200;
+    std::vector<BipartiteGraph::Edge> edges;
+    for (size_t i = 0; i < raw_edges; ++i) {
+      // Intentionally includes many duplicates.
+      edges.push_back({static_cast<VertexId>(rng() % nu),
+                       static_cast<VertexId>(rng() % nv)});
+    }
+    const BipartiteGraph g = BipartiteGraph::FromEdges(nu, nv, edges);
+    ASSERT_TRUE(g.Validate().empty()) << "trial " << trial << ": "
+                                      << g.Validate();
+    // Decomposition must terminate and assign every vertex a tip number
+    // bounded by its butterfly count.
+    TipOptions options;
+    options.num_threads = 2;
+    options.num_partitions = 4;
+    const TipResult r = ReceiptDecompose(g, options);
+    ASSERT_EQ(r.tip_numbers.size(), g.num_u());
+  }
+}
+
+TEST(PipelineTest, DecomposingBothSidesCommutes) {
+  // Peeling V of g must equal peeling U of the swapped graph.
+  const BipartiteGraph g = ChungLuBipartite(150, 100, 700, 0.5, 0.7, 821);
+  TipOptions v_options;
+  v_options.side = Side::kV;
+  v_options.num_threads = 2;
+  v_options.num_partitions = 6;
+  const TipResult via_side = ReceiptDecompose(g, v_options);
+  TipOptions u_options = v_options;
+  u_options.side = Side::kU;
+  const TipResult via_swap = ReceiptDecompose(g.SwappedCopy(), u_options);
+  EXPECT_EQ(via_side.tip_numbers, via_swap.tip_numbers);
+}
+
+}  // namespace
+}  // namespace receipt

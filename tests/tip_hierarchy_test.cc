@@ -1,0 +1,114 @@
+// Tests for k-tip hierarchy retrieval from tip numbers (Definition 1).
+
+#include "tip/tip_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tip/receipt.h"
+
+namespace receipt {
+namespace {
+
+TEST(TipHierarchyTest, SmallExampleLevels) {
+  const BipartiteGraph g = SmallExampleGraph();
+  TipOptions options;
+  options.num_partitions = 3;
+  options.num_threads = 2;
+  const TipResult r = ReceiptDecompose(g, options);
+
+  // k=18: the K_{4,4} core only, one butterfly-connected component.
+  auto tips18 = ExtractKTips(g, Side::kU, r.tip_numbers, 18);
+  ASSERT_EQ(tips18.size(), 1u);
+  EXPECT_EQ(tips18[0].vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+
+  // k=5: core + u4 + u5 (all butterfly-connected through v0, v1).
+  auto tips5 = ExtractKTips(g, Side::kU, r.tip_numbers, 5);
+  ASSERT_EQ(tips5.size(), 1u);
+  EXPECT_EQ(tips5[0].vertices, (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
+
+  // k=1: same as k=5 — u6, u7 have no butterflies at all.
+  auto tips1 = ExtractKTips(g, Side::kU, r.tip_numbers, 1);
+  ASSERT_EQ(tips1.size(), 1u);
+  EXPECT_EQ(tips1[0].vertices.size(), 6u);
+
+  // k=0: u6 and u7 appear as singleton components.
+  auto tips0 = ExtractKTips(g, Side::kU, r.tip_numbers, 0);
+  ASSERT_EQ(tips0.size(), 3u);
+  EXPECT_EQ(tips0[0].vertices.size(), 6u);
+  EXPECT_EQ(tips0[1].vertices.size(), 1u);
+  EXPECT_EQ(tips0[2].vertices.size(), 1u);
+}
+
+TEST(TipHierarchyTest, HierarchyIsNested) {
+  // Every (k+δ)-tip must be contained in some k-tip.
+  const BipartiteGraph g = ChungLuBipartite(150, 100, 700, 0.6, 0.6, 151);
+  TipOptions options;
+  options.num_partitions = 6;
+  options.num_threads = 2;
+  const TipResult r = ReceiptDecompose(g, options);
+  const Count max_tip = r.MaxTipNumber();
+  const Count k_low = max_tip / 4;
+  const Count k_high = max_tip / 2;
+  if (k_high <= k_low) GTEST_SKIP() << "graph too sparse for nesting check";
+
+  const auto low_tips = ExtractKTips(g, Side::kU, r.tip_numbers, k_low);
+  const auto high_tips = ExtractKTips(g, Side::kU, r.tip_numbers, k_high);
+  for (const KTip& high : high_tips) {
+    bool contained = false;
+    for (const KTip& low : low_tips) {
+      contained = std::includes(low.vertices.begin(), low.vertices.end(),
+                                high.vertices.begin(), high.vertices.end());
+      if (contained) break;
+    }
+    EXPECT_TRUE(contained) << "a " << k_high
+                           << "-tip is not nested in any " << k_low
+                           << "-tip";
+  }
+}
+
+TEST(TipHierarchyTest, DisconnectedBlocksSeparate) {
+  // Two disjoint K_{3,3} blocks: one 4-tip each (θ = 2·C(3,2) = 6... each u
+  // has 2·3 = 6 butterflies; θ = 6 for all), no cross connectivity.
+  std::vector<BipartiteGraph::Edge> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 3; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({u + 3, v + 3});
+    }
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(6, 6, edges);
+  TipOptions options;
+  options.num_threads = 2;
+  const TipResult r = ReceiptDecompose(g, options);
+  const auto tips = ExtractKTips(g, Side::kU, r.tip_numbers, 1);
+  ASSERT_EQ(tips.size(), 2u);
+  EXPECT_EQ(tips[0].vertices.size(), 3u);
+  EXPECT_EQ(tips[1].vertices.size(), 3u);
+}
+
+TEST(TipHierarchyTest, KAboveMaxIsEmpty) {
+  const BipartiteGraph g = SmallExampleGraph();
+  TipOptions options;
+  const TipResult r = ReceiptDecompose(g, options);
+  EXPECT_TRUE(ExtractKTips(g, Side::kU, r.tip_numbers, 19).empty());
+}
+
+TEST(TipHierarchyTest, HistogramSumsToVertexCount) {
+  const BipartiteGraph g = ChungLuBipartite(120, 90, 500, 0.5, 0.5, 157);
+  TipOptions options;
+  options.num_threads = 2;
+  const TipResult r = ReceiptDecompose(g, options);
+  const auto histogram = TipHistogram(r.tip_numbers);
+  uint64_t total = 0;
+  Count prev = kInvalidCount;
+  for (const auto& [value, count] : histogram) {
+    if (prev != kInvalidCount) EXPECT_GT(value, prev);
+    prev = value;
+    total += count;
+  }
+  EXPECT_EQ(total, g.num_u());
+}
+
+}  // namespace
+}  // namespace receipt
