@@ -3,12 +3,20 @@
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "receipt/receipt_lib.h"
 #include "util/timer.h"
 
 namespace receipt::bench {
+
+// Benchmarks fold wedge/butterfly counters across phases and datasets; the
+// paper's magnitudes (tip numbers to 3×10^12, wedges to 10^14) require
+// 64-bit accumulation everywhere. Pin the type so a future narrowing of
+// Count trips here instead of silently truncating bench output.
+static_assert(std::is_same_v<Count, uint64_t>,
+              "bench counters accumulate Count and assume 64 bits");
 
 /// Cached access to the six paper-analogue datasets ("it" … "tr"). Graphs
 /// are generated once per process.

@@ -4,83 +4,21 @@
 #include <map>
 #include <utility>
 
+#include "engine/counting.h"
+#include "engine/workspace.h"
 #include "util/parallel.h"
 
 namespace receipt {
-namespace {
-
-/// Per-thread scratch for Alg. 1: the dense wedge-aggregation array
-/// (θ(|W|) as in the batch mode of ParButterfly) plus the non-zero
-/// endpoint/wedge lists so only touched entries are visited and reset.
-struct CountScratch {
-  std::vector<uint32_t> wedge_count;              // indexed by endpoint id
-  std::vector<VertexId> nonzero_endpoints;        // nze
-  std::vector<std::pair<VertexId, VertexId>> wedges;  // nzw: (mid, end)
-  uint64_t wedges_traversed = 0;
-
-  void Resize(VertexId n) { wedge_count.assign(n, 0); }
-};
-
-}  // namespace
 
 void PerVertexButterflyCount(const DynamicGraph& graph, int num_threads,
                              std::span<Count> support,
                              uint64_t* wedges_traversed) {
-  const VertexId n = graph.num_vertices();
-  ParallelFor(n, num_threads, [&support](size_t w) { support[w] = 0; });
-
-  std::vector<CountScratch> scratch(static_cast<size_t>(num_threads));
-  for (auto& s : scratch) s.Resize(n);
-
-  ParallelForWithContext(
-      n, num_threads, scratch, [&](CountScratch& ctx, size_t sp_index) {
-        const VertexId sp = static_cast<VertexId>(sp_index);
-        if (!graph.IsAlive(sp)) return;
-        const VertexId sp_rank = graph.Rank(sp);
-        ctx.nonzero_endpoints.clear();
-        ctx.wedges.clear();
-
-        for (const VertexId mp : graph.Neighbors(sp)) {
-          if (!graph.IsAlive(mp)) continue;
-          const VertexId mp_rank = graph.Rank(mp);
-          for (const VertexId ep : graph.Neighbors(mp)) {
-            // Neighbors are sorted by ascending rank, so the first endpoint
-            // that fails the priority rule ends this wedge group (Alg. 1
-            // line 10).
-            const VertexId ep_rank = graph.Rank(ep);
-            if (ep_rank >= mp_rank || ep_rank >= sp_rank) break;
-            ++ctx.wedges_traversed;
-            if (!graph.IsAlive(ep)) continue;  // uncompacted dead entry
-            if (ctx.wedge_count[ep]++ == 0) ctx.nonzero_endpoints.push_back(ep);
-            ctx.wedges.emplace_back(mp, ep);
-          }
-        }
-
-        // Same-side contribution: every pair of wedges with endpoints
-        // (sp, ep) closes one butterfly; it belongs to both endpoints.
-        Count sp_total = 0;
-        for (const VertexId ep : ctx.nonzero_endpoints) {
-          const Count bcnt = Choose2(ctx.wedge_count[ep]);
-          if (bcnt > 0) {
-            AtomicAdd(&support[ep], bcnt);
-            sp_total += bcnt;
-          }
-        }
-        if (sp_total > 0) AtomicAdd(&support[sp], sp_total);
-
-        // Opposite-side contribution: a wedge (sp, mp, ep) participates in
-        // (wedge_count[ep] - 1) butterflies, all incident on its mid point.
-        for (const auto& [mp, ep] : ctx.wedges) {
-          const Count bcnt = ctx.wedge_count[ep] - 1;
-          if (bcnt > 0) AtomicAdd(&support[mp], bcnt);
-        }
-
-        for (const VertexId ep : ctx.nonzero_endpoints) ctx.wedge_count[ep] = 0;
-      });
-
-  if (wedges_traversed != nullptr) {
-    for (const auto& s : scratch) *wedges_traversed += s.wedges_traversed;
-  }
+  // Convenience entry point with a transient workspace pool. Decomposition
+  // hot paths call engine::CountVertexButterflies with their own pool.
+  engine::WorkspacePool pool;
+  const uint64_t wedges =
+      engine::CountVertexButterflies(graph, pool, num_threads, support);
+  if (wedges_traversed != nullptr) *wedges_traversed += wedges;
 }
 
 std::vector<Count> CountButterflies(const BipartiteGraph& graph,

@@ -1,0 +1,39 @@
+#ifndef RECEIPT_ENGINE_COUNTING_H_
+#define RECEIPT_ENGINE_COUNTING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "engine/workspace.h"
+#include "graph/bipartite_graph.h"
+#include "graph/dynamic_graph.h"
+#include "util/types.h"
+
+namespace receipt::engine {
+
+/// Parallel per-vertex butterfly counting (Alg. 1, pvBcnt) over the live
+/// vertices of `graph`, using the pool's per-thread workspaces for the
+/// dense wedge-aggregation arrays — no allocation when the pool is warm.
+///
+/// Writes the number of butterflies incident on every vertex w to
+/// `support[w]` (size num_vertices; dead vertices get 0) and returns the
+/// number of wedges traversed. Prepare()s the pool defensively.
+uint64_t CountVertexButterflies(const DynamicGraph& graph, WorkspacePool& pool,
+                                int num_threads, std::span<Count> support);
+
+/// Single-workspace variant used inside RECEIPT FD tasks (each task is
+/// sequential; its thread re-counts its own induced subgraph for HUC).
+uint64_t CountVertexButterfliesSeq(const DynamicGraph& graph,
+                                   PeelWorkspace& ws,
+                                   std::span<Count> support);
+
+/// Parallel per-edge butterfly counting for wing decomposition:
+/// bcnt(u,v) = Σ_{u'∈N(v)\{u}} (|N(u) ∩ N(u')| − 1), written to
+/// `support[e]` for every U-side CSR slot e (size num_edges). Returns
+/// wedges traversed.
+uint64_t CountEdgeButterflies(const BipartiteGraph& graph, WorkspacePool& pool,
+                              int num_threads, std::span<Count> support);
+
+}  // namespace receipt::engine
+
+#endif  // RECEIPT_ENGINE_COUNTING_H_

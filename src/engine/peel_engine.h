@@ -1,0 +1,520 @@
+#ifndef RECEIPT_ENGINE_PEEL_ENGINE_H_
+#define RECEIPT_ENGINE_PEEL_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/counting.h"
+#include "engine/graph_maintenance.h"
+#include "engine/peel_kernels.h"
+#include "engine/range_result.h"
+#include "engine/workspace.h"
+#include "graph/bipartite_graph.h"
+#include "graph/dynamic_graph.h"
+#include "tip/extraction.h"
+#include "tip/min_heap.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/types.h"
+#include "wing/edge_topology.h"
+
+namespace receipt::engine {
+
+// ===========================================================================
+// Peel-entity adapters: the two instantiations of the engine's entity
+// parameter. Both expose the same surface — liveness, support access, the
+// peel life-cycle, and an atomic peel-one kernel — so RangeDecomposer below
+// is written once for vertices (tip) and edges (wing).
+// ===========================================================================
+
+/// Vertex (tip) peel entity: U vertices of a DynamicGraph, support updated
+/// by the Alg. 2 wedge-aggregation kernel.
+class TipPeelGraph {
+ public:
+  using Id = VertexId;
+  /// Vertex peeling supports HUC re-counts (the per-vertex counting kernel
+  /// re-derives supports); edge peeling does not.
+  static constexpr bool kSupportsRecount = true;
+
+  TipPeelGraph(DynamicGraph& live, std::span<Count> support)
+      : live_(&live), support_(support) {}
+
+  uint64_t num_entities() const { return live_->num_u(); }
+  /// Workspace shape this entity's kernels need (dense wedge array over
+  /// the combined vertex space; no V-side mark array).
+  VertexId WorkspaceVertexCapacity() const { return live_->num_vertices(); }
+  VertexId WorkspaceMarkCapacity() const { return 0; }
+  bool IsAlive(Id u) const { return live_->IsAlive(u); }
+  Count Support(Id u) const { return support_[u]; }
+  /// Vertices die before their updates flow (Lemma 2, case 3).
+  void BeginPeel(Id u) { live_->Kill(u); }
+  void EndRound(std::span<const Id>) {}
+
+  template <typename OnUpdated>
+  uint64_t PeelOneAtomic(Id u, Count floor, PeelWorkspace& ws,
+                         OnUpdated&& on_updated) {
+    return PeelVertex</*kAtomic=*/true>(*live_, u, floor, support_, ws,
+                                        std::forward<OnUpdated>(on_updated));
+  }
+
+  /// HUC re-count (§4.1): re-derives every live support by a fresh parallel
+  /// count, clamped from below at the range bound `lo` (Lemma 1). Returns
+  /// wedges traversed. `scratch.count_buffer` holds the fresh counts.
+  uint64_t RecountSupports(Count lo, WorkspacePool& pool, int num_threads,
+                           PeelWorkspace& scratch) {
+    const VertexId n = live_->num_vertices();
+    if (scratch.count_buffer.size() < n) {
+      scratch.count_buffer.resize(n);
+      ++scratch.growths;
+    }
+    std::span<Count> fresh(scratch.count_buffer.data(), n);
+    const uint64_t wedges =
+        CountVertexButterflies(*live_, pool, num_threads, fresh);
+    const VertexId num_u = live_->num_u();
+    ParallelFor(num_u, num_threads, [&](size_t u) {
+      if (live_->IsAlive(static_cast<VertexId>(u))) {
+        support_[u] = std::max(lo, fresh[u]);
+      }
+    });
+    return wedges;
+  }
+
+ private:
+  DynamicGraph* live_;
+  std::span<Count> support_;
+};
+
+/// Edge (wing) peel entity: U-side CSR slots of a BipartiteGraph with an
+/// explicit EdgeState array, support updated one butterfly at a time by the
+/// §7 enumeration kernel under the minimum-id priority rule.
+class WingPeelGraph {
+ public:
+  using Id = EdgeOffset;
+  static constexpr bool kSupportsRecount = false;
+
+  WingPeelGraph(const BipartiteGraph& graph, const EdgeTopology& topo,
+                std::vector<uint8_t>& state, std::span<Count> support)
+      : graph_(&graph), topo_(&topo), state_(&state), support_(support) {}
+
+  uint64_t num_entities() const { return graph_->num_edges(); }
+  /// Workspace shape this entity's kernels need (V-side mark array only).
+  VertexId WorkspaceVertexCapacity() const { return 0; }
+  VertexId WorkspaceMarkCapacity() const { return graph_->num_v(); }
+  bool IsAlive(Id e) const { return (*state_)[e] == kEdgeAlive; }
+  Count Support(Id e) const { return support_[e]; }
+  /// Edges stay enumerable while peeling (all four edges of a butterfly
+  /// must be not-dead for it to count); the priority rule arbitrates.
+  void BeginPeel(Id e) { (*state_)[e] = kEdgePeeling; }
+  void EndRound(std::span<const Id> round) {
+    for (const Id e : round) (*state_)[e] = kEdgeDead;
+  }
+
+  template <typename OnUpdated>
+  uint64_t PeelOneAtomic(Id e, Count floor, PeelWorkspace& ws,
+                         OnUpdated&& on_updated) {
+    return PeelEdgeButterflies(
+        *graph_, *topo_, *state_, e, ws, [&](EdgeOffset x) {
+          on_updated(x, AtomicClampedSub(&support_[x], Count{1}, floor));
+        });
+  }
+
+ private:
+  const BipartiteGraph* graph_;
+  const EdgeTopology* topo_;
+  std::vector<uint8_t>* state_;
+  std::span<Count> support_;
+};
+
+// ===========================================================================
+// RangeDecomposer: the coarse-grained decomposition engine (Alg. 3),
+// templated on the peel entity. One implementation serves RECEIPT CD
+// (TipPeelGraph, with HUC + DGM through GraphMaintenance) and the RECEIPT-W
+// coarse step (WingPeelGraph, maintenance-free).
+// ===========================================================================
+
+template <typename PeelGraph>
+class RangeDecomposer {
+ public:
+  using Id = typename PeelGraph::Id;
+
+  /// `static_cost[e]` is the static peel-cost proxy of entity e (wedge
+  /// count for vertices, mark + scan cost for edges) driving both range
+  /// determination and — for vertices — the HUC cost model.
+  /// `maintenance` may be nullptr (coarse wing); it must outlive Run().
+  RangeDecomposer(PeelGraph& peel_graph, std::span<const Count> static_cost,
+                  uint32_t max_partitions, int num_threads,
+                  WorkspacePool& pool, GraphMaintenance* maintenance)
+      : pg_(&peel_graph),
+        static_cost_(static_cost),
+        max_partitions_(std::max(1u, max_partitions)),
+        num_threads_(num_threads),
+        pool_(&pool),
+        maintenance_(maintenance) {}
+
+  /// Peels every entity, producing subsets with non-overlapping peel-number
+  /// ranges. Contributes wedges_cd, sync_rounds, peel_iterations,
+  /// huc_recounts and num_subsets to `*stats` (dgm_compactions are read off
+  /// the GraphMaintenance by the caller).
+  RangeResult<Id> Run(PeelStats* stats) {
+    // Enforce the pool contract (one workspace per thread, kernels' dense
+    // arrays sized) rather than assuming the caller Prepared; idempotent
+    // and free when the pool is already warm.
+    pool_->Prepare(std::max(1, num_threads_), pg_->WorkspaceVertexCapacity(),
+                   pg_->WorkspaceMarkCapacity());
+    const uint64_t n = pg_->num_entities();
+    RangeResult<Id> result;
+    result.subset_of.assign(n, 0);
+    result.init_support.assign(n, 0);
+    result.bounds = {0};
+
+    double remaining_cost = 0.0;
+    for (uint64_t e = 0; e < n; ++e) {
+      remaining_cost += static_cast<double>(static_cost_[e]);
+    }
+    double target = remaining_cost / max_partitions_;  // Alg. 3 line 4
+
+    std::vector<uint32_t> stamps(n, 0);
+    uint32_t round_stamp = 0;
+    std::vector<std::pair<Count, Count>> range_scratch;
+    std::vector<Id> active;
+    std::vector<Id> candidates;
+
+    uint64_t alive_count = n;
+    while (alive_count > 0) {
+      const uint32_t subset_index =
+          static_cast<uint32_t>(result.subsets.size());
+      const Count lo = result.bounds.back();
+
+      // Snapshot ⊲⊳init before any entity of this subset is peeled
+      // (Alg. 3 lines 6-7).
+      ParallelFor(n, num_threads_, [&](size_t e) {
+        if (pg_->IsAlive(static_cast<Id>(e))) {
+          result.init_support[e] = pg_->Support(static_cast<Id>(e));
+        }
+      });
+
+      // Upper bound of this range (Alg. 3 line 8). Once the user-specified
+      // P is exhausted, the final subset takes everything left (§3.1.1).
+      Count hi = kInvalidCount;
+      if (subset_index < max_partitions_) {
+        range_scratch.clear();
+        for (Id e = 0; e < static_cast<Id>(n); ++e) {
+          if (pg_->IsAlive(e)) {
+            range_scratch.emplace_back(pg_->Support(e), static_cost_[e]);
+          }
+        }
+        hi = FindRangeBound(range_scratch, std::max(1.0, target));
+      }
+
+      result.subsets.emplace_back();
+      std::vector<Id>& subset = result.subsets.back();
+
+      // First active set of the range: full scan (Alg. 3 line 9).
+      active.clear();
+      for (Id e = 0; e < static_cast<Id>(n); ++e) {
+        if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
+      }
+
+      while (!active.empty()) {
+        ++stats->sync_rounds;
+        ++stats->peel_iterations;
+
+        // Assign and claim the whole round first so no update flows
+        // between two entities peeled together (Lemma 2 / priority rule).
+        for (const Id e : active) {
+          result.subset_of[e] = subset_index;
+          pg_->BeginPeel(e);
+        }
+        alive_count -= active.size();
+        subset.insert(subset.end(), active.begin(), active.end());
+
+        bool need_full_scan = false;
+        bool recounted = false;
+        if constexpr (PeelGraph::kSupportsRecount) {
+          if (maintenance_ != nullptr && alive_count > 0) {
+            Count peel_cost = 0;
+            for (const Id e : active) peel_cost += static_cost_[e];
+            if (maintenance_->ShouldRecount(peel_cost)) {
+              // Hybrid Update Computation (§4.1): this round's peeling
+              // would traverse more wedges than a full re-count.
+              ++stats->huc_recounts;
+              maintenance_->BeginRecount(num_threads_);
+              stats->wedges_cd += pg_->RecountSupports(
+                  lo, *pool_, num_threads_, pool_->Get(0));
+              maintenance_->EndRecount();
+              need_full_scan = true;  // re-count invalidated the tracking
+              recounted = true;
+            }
+          }
+        }
+
+        if (!recounted) {
+          ++round_stamp;
+          const uint32_t current_stamp = round_stamp;
+          const uint64_t wedges_before = pool_->TotalWedges();
+          ParallelForWithContext(
+              active.size(), num_threads_, pool_->workspaces(),
+              [&](PeelWorkspace& ws, size_t i) {
+                ws.wedges_traversed += pg_->PeelOneAtomic(
+                    active[i], lo, ws, [&](Id x, Count new_support) {
+                      if (new_support < hi &&
+                          ClaimStamp(stamps, x, current_stamp)) {
+                        ws.candidates.push_back(static_cast<uint64_t>(x));
+                      }
+                    });
+              });
+          const uint64_t round_wedges = pool_->TotalWedges() - wedges_before;
+          stats->wedges_cd += round_wedges;
+          // Dynamic Graph Maintenance (§4.2): compact adjacency once ≥ m
+          // wedges were traversed since the last compaction.
+          if (maintenance_ != nullptr) {
+            maintenance_->OnPeelWedges(round_wedges, num_threads_);
+          }
+          candidates.clear();
+          for (PeelWorkspace& ws : pool_->workspaces()) {
+            for (const uint64_t x : ws.candidates) {
+              candidates.push_back(static_cast<Id>(x));
+            }
+            ws.candidates.clear();
+          }
+        }
+
+        pg_->EndRound(active);
+
+        // Next active set (Alg. 3 line 14): tracked candidates, or a full
+        // scan right after a re-count invalidated the tracking.
+        active.clear();
+        if (need_full_scan) {
+          for (Id e = 0; e < static_cast<Id>(n); ++e) {
+            if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
+          }
+        } else {
+          for (const Id e : candidates) {
+            if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
+          }
+        }
+      }
+
+      // Two-way adaptive range determination (§3.1.1): recompute the target
+      // from what remains and damp it by this subset's overshoot.
+      double subset_cost = 0.0;
+      for (const Id e : subset) {
+        subset_cost += static_cast<double>(static_cost_[e]);
+      }
+      remaining_cost -= subset_cost;
+      if (subset_index + 1 < max_partitions_) {
+        const double base =
+            remaining_cost /
+            static_cast<double>(max_partitions_ - subset_index - 1);
+        const double scale =
+            subset_cost > 0.0 ? std::min(1.0, target / subset_cost) : 1.0;
+        target = std::max(1.0, base * scale);
+      }
+      result.bounds.push_back(hi);
+    }
+
+    stats->num_subsets = result.subsets.size();
+    return result;
+  }
+
+ private:
+  PeelGraph* pg_;
+  std::span<const Count> static_cost_;
+  uint32_t max_partitions_;
+  int num_threads_;
+  WorkspacePool* pool_;
+  GraphMaintenance* maintenance_;
+};
+
+// ===========================================================================
+// Sequential bottom-up drivers: the fine-grained / baseline peeling loops.
+// ===========================================================================
+
+/// Configuration for SequentialTipPeel.
+struct SequentialPeelConfig {
+  MinExtraction min_extraction = MinExtraction::kDAryHeap;
+  bool use_huc = false;
+  bool use_dgm = false;
+  /// θ starts here — 0 for whole-graph BUP, the subset's range lower bound
+  /// θ(i) for a RECEIPT FD task.
+  Count floor0 = 0;
+  /// Break as soon as the last entity pops (FD tasks) instead of draining
+  /// the extractor through the final — traversal-free by then — update
+  /// (BUP keeps the seed semantics of counting those wedges).
+  bool stop_when_peeled = false;
+};
+
+/// Counters reported by a sequential peel; the caller maps them onto the
+/// right PeelStats fields (wedges_other for BUP, wedges_fd for FD).
+struct SequentialPeelOutcome {
+  uint64_t wedges = 0;
+  uint64_t iterations = 0;
+  uint64_t huc_recounts = 0;
+  uint64_t dgm_compactions = 0;
+};
+
+/// Sequential bottom-up tip peeling of U vertices [0, num_peel) of `live` —
+/// the unified kernel behind BupDecompose (whole graph, no optimizations)
+/// and every RECEIPT FD task (induced subgraph, HUC + DGM, Alg. 4 lines
+/// 5-10). `graph` is the static structure `live` was built from (used for
+/// the HUC cost model); `support` spans live.num_vertices() and must be
+/// initialized by the caller. `assign(u, θ)` fires once per peeled vertex.
+template <typename AssignTheta>
+SequentialPeelOutcome SequentialTipPeel(const BipartiteGraph& graph,
+                                        DynamicGraph& live,
+                                        std::span<Count> support,
+                                        VertexId num_peel,
+                                        const SequentialPeelConfig& config,
+                                        PeelWorkspace& ws,
+                                        AssignTheta&& assign) {
+  SequentialPeelOutcome out;
+  ws.EnsureVertexCapacity(live.num_vertices());
+  GraphMaintenance maintenance(live, config.use_huc, config.use_dgm,
+                               graph.num_edges());
+
+  std::span<Count> fresh;
+  if (config.use_huc) {
+    // HUC bookkeeping: the external contribution of each vertex
+    // (butterflies shared with peers outside `live`) is fixed during
+    // peeling and equals ⊲⊳init − (butterflies inside live) — §4.1.
+    const VertexId n = live.num_vertices();
+    if (ws.count_buffer.size() < n) {
+      ws.count_buffer.resize(n);
+      ++ws.growths;
+    }
+    fresh = std::span<Count>(ws.count_buffer.data(), n);
+    out.wedges += CountVertexButterfliesSeq(live, ws, fresh);
+    ws.external.assign(num_peel, 0);
+    ws.static_cost.assign(num_peel, 0);
+    for (VertexId lu = 0; lu < num_peel; ++lu) {
+      ws.external[lu] =
+          support[lu] >= fresh[lu] ? support[lu] - fresh[lu] : 0;
+      ws.static_cost[lu] = graph.WedgeCount(lu);
+    }
+  }
+
+  MinExtractor extractor(config.min_extraction, support, num_peel);
+
+  VertexId alive_count = num_peel;
+  Count theta = config.floor0;
+  while (auto entry = extractor.PopMin(support)) {
+    const auto [key, u] = *entry;
+    theta = std::max(theta, key);
+    assign(u, theta);
+    live.Kill(u);
+    ++out.iterations;
+    --alive_count;
+    if (config.stop_when_peeled && alive_count == 0) break;
+
+    if (config.use_huc && maintenance.ShouldRecount(ws.static_cost[u])) {
+      // Re-counting this (small, induced) graph is cheaper than exploring
+      // the peeled vertex's wedges.
+      ++out.huc_recounts;
+      maintenance.BeginRecount(/*num_threads=*/1);
+      out.wedges += CountVertexButterfliesSeq(live, ws, fresh);
+      for (VertexId lu = 0; lu < num_peel; ++lu) {
+        if (!live.IsAlive(lu)) continue;
+        support[lu] = std::max(theta, fresh[lu] + ws.external[lu]);
+      }
+      extractor.Rebuild(support);
+      maintenance.EndRecount();
+    } else {
+      const uint64_t wedges = PeelVertex</*kAtomic=*/false>(
+          live, u, theta, support, ws,
+          [&extractor](VertexId u2, Count new_support) {
+            extractor.NotifyUpdate(u2, new_support);
+          });
+      out.wedges += wedges;
+      maintenance.OnPeelWedges(wedges, /*num_threads=*/1);
+    }
+  }
+
+  out.dgm_compactions = maintenance.compactions();
+  return out;
+}
+
+/// Counters reported by a sequential wing peel.
+struct WingPeelOutcome {
+  uint64_t wedges = 0;
+  uint64_t iterations = 0;
+};
+
+/// Sequential bottom-up wing (edge) peeling — the unified kernel behind
+/// WingDecompose (whole graph) and every RECEIPT-W fine task (environment
+/// graph of a subset). The heap must be pre-seeded with the peelable edges;
+/// `updatable(x)` filters both extraction and updates (environment edges of
+/// higher subsets are enumerated but never updated); `assign(e, θ)` fires
+/// once per peeled edge. `remaining` = number of peelable edges (0 = peel
+/// until the heap runs dry).
+template <typename Updatable, typename OnAssign>
+WingPeelOutcome SequentialWingPeel(const BipartiteGraph& graph,
+                                   const EdgeTopology& topo,
+                                   std::vector<uint8_t>& state,
+                                   std::span<Count> support,
+                                   LazyMinHeap<4>& heap, uint64_t remaining,
+                                   Count floor0, PeelWorkspace& ws,
+                                   Updatable&& updatable,
+                                   OnAssign&& assign) {
+  WingPeelOutcome out;
+  ws.EnsureMarkCapacity(graph.num_v());
+  Count theta = floor0;
+  const auto peelable = [&](VertexId k) {
+    return state[k] == kEdgeAlive && updatable(static_cast<EdgeOffset>(k));
+  };
+  while (auto entry = heap.PopValid(support, peelable)) {
+    const auto [key, k32] = *entry;
+    const EdgeOffset k = k32;
+    theta = std::max(theta, key);
+    assign(k, theta);
+    state[k] = kEdgePeeling;  // sole peeling edge: priority rule is trivial
+    ++out.iterations;
+    out.wedges += PeelEdgeButterflies(
+        graph, topo, state, k, ws, [&](EdgeOffset x) {
+          if (!updatable(x)) return;  // higher subsets are never updated
+          const Count cur = support[x];
+          const Count next = cur > theta + 1 ? cur - 1 : theta;
+          if (next != cur) {
+            support[x] = next;
+            heap.Push(next, static_cast<VertexId>(x));
+          }
+        });
+    state[k] = kEdgeDead;
+    if (remaining > 0 && --remaining == 0) break;
+  }
+  return out;
+}
+
+// ===========================================================================
+// Round peeling (ParB): one concurrent batch with atomic clamped updates.
+// ===========================================================================
+
+/// Peels `peel_set` (whose members the caller already killed and assigned)
+/// concurrently. `on_updated(ws, u2, new_support)` runs on the worker
+/// thread that produced the update, with that thread's workspace — typical
+/// use buffers (u2, new_support) into ws.updates for post-barrier
+/// re-bucketing. Returns wedges traversed.
+template <typename OnUpdated>
+uint64_t ParallelPeelRound(const DynamicGraph& live,
+                           std::span<const VertexId> peel_set, Count floor,
+                           std::span<Count> support, WorkspacePool& pool,
+                           int num_threads, OnUpdated&& on_updated) {
+  pool.Prepare(std::max(1, num_threads), live.num_vertices());
+  const uint64_t wedges_before = pool.TotalWedges();
+  ParallelForWithContext(
+      peel_set.size(), num_threads, pool.workspaces(),
+      [&](PeelWorkspace& ws, size_t i) {
+        ws.wedges_traversed += PeelVertex</*kAtomic=*/true>(
+            live, peel_set[i], floor, support, ws,
+            [&](VertexId u2, Count new_support) {
+              on_updated(ws, u2, new_support);
+            });
+      });
+  return pool.TotalWedges() - wedges_before;
+}
+
+}  // namespace receipt::engine
+
+#endif  // RECEIPT_ENGINE_PEEL_ENGINE_H_

@@ -1,0 +1,22 @@
+#include "engine/peel_kernels.h"
+
+#include <algorithm>
+
+namespace receipt::engine {
+
+Count FindRangeBound(std::vector<std::pair<Count, Count>>& support_and_cost,
+                     double target) {
+  // Guard: no alive entities means any range works — absorb everything.
+  // (Callers only reach here while entities remain, but a wrong caller must
+  // not dereference .back() of an empty vector.)
+  if (support_and_cost.empty()) return kInvalidCount;
+  std::sort(support_and_cost.begin(), support_and_cost.end());
+  double cumulative = 0.0;
+  for (const auto& [support, cost] : support_and_cost) {
+    cumulative += static_cast<double>(cost);
+    if (cumulative >= target) return support + 1;
+  }
+  return support_and_cost.back().first + 1;
+}
+
+}  // namespace receipt::engine

@@ -1,0 +1,28 @@
+#include "engine/workspace.h"
+
+namespace receipt::engine {
+
+void WorkspacePool::Prepare(int num_threads, VertexId vertex_capacity,
+                            VertexId mark_capacity) {
+  if (num_workspaces() < num_threads) {
+    workspaces_.resize(static_cast<size_t>(num_threads));
+  }
+  for (PeelWorkspace& ws : workspaces_) {
+    ws.EnsureVertexCapacity(vertex_capacity);
+    if (mark_capacity > 0) ws.EnsureMarkCapacity(mark_capacity);
+  }
+}
+
+uint64_t WorkspacePool::TotalWedges() const {
+  uint64_t total = 0;
+  for (const PeelWorkspace& ws : workspaces_) total += ws.wedges_traversed;
+  return total;
+}
+
+uint64_t WorkspacePool::TotalGrowths() const {
+  uint64_t total = 0;
+  for (const PeelWorkspace& ws : workspaces_) total += ws.growths;
+  return total;
+}
+
+}  // namespace receipt::engine

@@ -1,0 +1,111 @@
+#ifndef RECEIPT_ENGINE_WORKSPACE_H_
+#define RECEIPT_ENGINE_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace receipt::engine {
+
+/// Per-thread reusable scratch for every wedge-traversal kernel in the
+/// library: butterfly counting (Alg. 1), tip peel-updates (Alg. 2), RECEIPT
+/// CD rounds (Alg. 3), per-partition FD peeling (Alg. 4) and wing (edge)
+/// peeling (§7). A decomposition allocates workspaces once through
+/// WorkspacePool and reuses them across rounds and partitions, so the hot
+/// paths are allocation-free in steady state.
+///
+/// Invariant between kernel invocations: `wedge_count` and `edge_mark` are
+/// all-zero — every kernel resets exactly the entries it touched.
+struct PeelWorkspace {
+  /// Dense wedge-aggregation array (`wdg_arr` of Alg. 2), indexed by 2-hop
+  /// neighbor id. 64-bit: multiplicities are bounded by degree, but a dense
+  /// high-degree vertex can collect > 2^32 wedges across one traversal.
+  std::vector<uint64_t> wedge_count;
+  /// Non-zero entries of wedge_count (nze of Alg. 1).
+  std::vector<VertexId> touched;
+  /// Wedge list (mid, end) for the counting kernel's opposite-side pass
+  /// (nzw of Alg. 1).
+  std::vector<std::pair<VertexId, VertexId>> wedge_pairs;
+  /// V-side mark array for edge (wing) peeling: stores edge id + 1 while a
+  /// peel is in flight, 0 = unmarked.
+  std::vector<EdgeOffset> edge_mark;
+  /// Frontier buffer: candidate entity ids for the next peeling round.
+  /// EdgeOffset-wide so it serves both vertex and edge peeling.
+  std::vector<uint64_t> candidates;
+  /// (entity, new support) pairs produced in one round, consumed after the
+  /// barrier (ParB re-bucketing).
+  std::vector<std::pair<uint64_t, Count>> updates;
+  /// Re-count target buffer for HUC (§4.1): fresh per-vertex counts.
+  std::vector<Count> count_buffer;
+  /// Fixed external butterfly contributions during FD (⊲⊳init − in-subgraph
+  /// count, §4.1).
+  std::vector<Count> external;
+  /// Static per-entity wedge counts — the C_peel cost model input.
+  std::vector<Count> static_cost;
+  /// Per-partition support vector (FD induced subgraphs, wing environment
+  /// graphs); assign() keeps the capacity between partitions.
+  std::vector<Count> support_buffer;
+
+  /// Wedges traversed by kernels running on this workspace; folded by
+  /// WorkspacePool::TotalWedges.
+  uint64_t wedges_traversed = 0;
+
+  /// Number of times a dense buffer actually grew. Stable once warm — the
+  /// workspace-reuse tests assert no growth across rounds and partitions.
+  uint64_t growths = 0;
+
+  /// Grows wedge_count to cover ids [0, n), zero-filling new slots. Never
+  /// shrinks, so alternating between a graph and its induced subgraphs
+  /// costs nothing.
+  void EnsureVertexCapacity(VertexId n) {
+    if (wedge_count.size() < static_cast<size_t>(n)) {
+      wedge_count.resize(n, 0);
+      ++growths;
+    }
+  }
+
+  /// Grows edge_mark to cover V-side ids [0, num_v), zero-filled.
+  void EnsureMarkCapacity(VertexId num_v) {
+    if (edge_mark.size() < static_cast<size_t>(num_v)) {
+      edge_mark.resize(num_v, 0);
+      ++growths;
+    }
+  }
+};
+
+/// The per-decomposition set of workspaces, one per OpenMP thread.
+/// Prepare() is idempotent: repeated calls with the same (or smaller) shape
+/// do not allocate, which is what lets RECEIPT share one pool between
+/// counting, CD rounds and every FD partition.
+class WorkspacePool {
+ public:
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Ensures at least `num_threads` workspaces, each covering vertex ids
+  /// [0, vertex_capacity) and, when mark_capacity > 0, V-side ids
+  /// [0, mark_capacity).
+  void Prepare(int num_threads, VertexId vertex_capacity,
+               VertexId mark_capacity = 0);
+
+  int num_workspaces() const { return static_cast<int>(workspaces_.size()); }
+  PeelWorkspace& Get(int tid) { return workspaces_[static_cast<size_t>(tid)]; }
+  /// Direct container access for ParallelForWithContext.
+  std::vector<PeelWorkspace>& workspaces() { return workspaces_; }
+
+  /// Sum of per-workspace wedge counters (monotonic; callers take deltas).
+  uint64_t TotalWedges() const;
+  /// Sum of per-workspace buffer-growth events (allocation telemetry).
+  uint64_t TotalGrowths() const;
+
+ private:
+  std::vector<PeelWorkspace> workspaces_;
+};
+
+}  // namespace receipt::engine
+
+#endif  // RECEIPT_ENGINE_WORKSPACE_H_

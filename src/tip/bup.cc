@@ -1,12 +1,12 @@
 #include "tip/bup.h"
 
-#include <utility>
+#include <algorithm>
+#include <span>
 #include <vector>
 
-#include "butterfly/butterfly_count.h"
+#include "engine/counting.h"
+#include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
-#include "tip/extraction.h"
-#include "tip/peel_update.h"
 #include "util/timer.h"
 
 namespace receipt {
@@ -22,32 +22,23 @@ TipResult BupDecompose(const BipartiteGraph& graph,
   result.tip_numbers.assign(g.num_u(), 0);
 
   DynamicGraph live(g, g.DegreeDescendingRanks());
+  engine::WorkspacePool pool;
+  pool.Prepare(std::max(1, options.num_threads), g.num_vertices());
 
   // Initial support via pvBcnt (Alg. 2 line 1).
   WallTimer count_timer;
   std::vector<Count> support(g.num_vertices(), 0);
-  PerVertexButterflyCount(live, options.num_threads, support,
-                          &result.stats.wedges_counting);
+  result.stats.wedges_counting = engine::CountVertexButterflies(
+      live, pool, options.num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
 
-  MinExtractor extractor(options.min_extraction, support, g.num_u());
-
-  UpdateScratch scratch;
-  scratch.Resize(g.num_vertices());
-
-  Count theta = 0;
-  while (auto entry = extractor.PopMin(support)) {
-    const auto [key, u] = *entry;
-    theta = std::max(theta, key);
-    result.tip_numbers[u] = theta;
-    live.Kill(u);
-    ++result.stats.peel_iterations;
-    result.stats.wedges_other += PeelUpdate</*kAtomic=*/false>(
-        live, u, theta, support, scratch,
-        [&extractor](VertexId u2, Count new_support) {
-          extractor.NotifyUpdate(u2, new_support);
-        });
-  }
+  engine::SequentialPeelConfig config;
+  config.min_extraction = options.min_extraction;
+  const engine::SequentialPeelOutcome outcome = engine::SequentialTipPeel(
+      g, live, std::span<Count>(support), g.num_u(), config, pool.Get(0),
+      [&result](VertexId u, Count theta) { result.tip_numbers[u] = theta; });
+  result.stats.wedges_other = outcome.wedges;
+  result.stats.peel_iterations = outcome.iterations;
 
   result.stats.seconds_total = total_timer.Seconds();
   return result;

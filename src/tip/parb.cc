@@ -1,27 +1,18 @@
 #include "tip/parb.h"
 
+#include <algorithm>
 #include <numeric>
+#include <span>
 #include <utility>
 #include <vector>
 
-#include "butterfly/butterfly_count.h"
+#include "engine/counting.h"
+#include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
 #include "tip/bucket.h"
-#include "tip/peel_update.h"
-#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace receipt {
-namespace {
-
-/// Per-thread buffer of (vertex, new_support) updates produced in one round,
-/// consumed for re-bucketing after the barrier.
-struct RoundBuffer {
-  std::vector<std::pair<VertexId, Count>> updates;
-  UpdateScratch scratch;
-};
-
-}  // namespace
 
 TipResult ParbDecompose(const BipartiteGraph& graph,
                         const TipOptions& options) {
@@ -35,20 +26,18 @@ TipResult ParbDecompose(const BipartiteGraph& graph,
   result.tip_numbers.assign(g.num_u(), 0);
 
   DynamicGraph live(g, g.DegreeDescendingRanks());
+  engine::WorkspacePool pool;
+  pool.Prepare(std::max(1, num_threads), g.num_vertices());
 
   WallTimer count_timer;
   std::vector<Count> support(g.num_vertices(), 0);
-  PerVertexButterflyCount(live, num_threads, support,
-                          &result.stats.wedges_counting);
+  result.stats.wedges_counting =
+      engine::CountVertexButterflies(live, pool, num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
 
   std::vector<VertexId> all_u(g.num_u());
   std::iota(all_u.begin(), all_u.end(), 0);
   BucketQueue queue(support, all_u, /*window=*/128);
-
-  std::vector<RoundBuffer> buffers(static_cast<size_t>(num_threads));
-  for (auto& b : buffers) b.scratch.Resize(g.num_vertices());
-  PerThreadCounters wedge_counters(num_threads);
 
   while (auto round = queue.PopMin()) {
     const auto& [theta, peel_set] = *round;
@@ -62,29 +51,23 @@ TipResult ParbDecompose(const BipartiteGraph& graph,
       live.Kill(u);
     }
 
-    ParallelForWithContext(
-        peel_set.size(), num_threads, buffers,
-        [&](RoundBuffer& buf, size_t i) {
-          const VertexId u = peel_set[i];
-          const uint64_t wedges = PeelUpdate</*kAtomic=*/true>(
-              live, u, theta, support, buf.scratch,
-              [&buf](VertexId u2, Count new_support) {
-                buf.updates.emplace_back(u2, new_support);
-              });
-          wedge_counters.Add(ThreadId(), wedges);
+    result.stats.wedges_other += engine::ParallelPeelRound(
+        live, peel_set, theta, support, pool, num_threads,
+        [](engine::PeelWorkspace& ws, VertexId u2, Count new_support) {
+          ws.updates.emplace_back(u2, new_support);
         });
 
     // Re-bucket touched vertices (sequential; BucketQueue::Update dedups
     // repeated updates that landed on the same key).
-    for (auto& buf : buffers) {
-      for (const auto& [vertex, ignored] : buf.updates) {
-        if (live.IsAlive(vertex)) queue.Update(vertex, support[vertex]);
+    for (engine::PeelWorkspace& ws : pool.workspaces()) {
+      for (const auto& [vertex, ignored] : ws.updates) {
+        const VertexId v = static_cast<VertexId>(vertex);
+        if (live.IsAlive(v)) queue.Update(v, support[v]);
       }
-      buf.updates.clear();
+      ws.updates.clear();
     }
   }
 
-  result.stats.wedges_other = wedge_counters.Total();
   result.stats.seconds_total = total_timer.Seconds();
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "engine/workspace.h"
 #include "tip/receipt_cd.h"
 #include "tip/receipt_fd.h"
 #include "util/timer.h"
@@ -18,8 +19,11 @@ TipResult ReceiptDecompose(const BipartiteGraph& graph,
   TipResult result;
   result.tip_numbers.assign(g.num_u(), 0);
 
-  CdResult cd = ReceiptCd(g, options, &result.stats);
-  ReceiptFd(g, cd, options, result.tip_numbers, &result.stats);
+  // One workspace pool for the whole decomposition: counting, every CD
+  // round and every FD partition reuse the same per-thread scratch.
+  engine::WorkspacePool pool;
+  CdResult cd = ReceiptCd(g, options, pool, &result.stats);
+  ReceiptFd(g, cd, options, pool, result.tip_numbers, &result.stats);
 
   result.range_bounds = std::move(cd.bounds);
   result.subset_of = std::move(cd.subset_of);

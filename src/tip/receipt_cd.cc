@@ -1,76 +1,38 @@
 #include "tip/receipt_cd.h"
 
 #include <algorithm>
-#include <atomic>
-#include <utility>
 #include <vector>
 
-#include "butterfly/butterfly_count.h"
+#include "engine/counting.h"
+#include "engine/graph_maintenance.h"
+#include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
-#include "tip/peel_update.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace receipt {
-namespace {
-
-/// Per-thread state for one CD peeling round.
-struct CdThreadBuffer {
-  UpdateScratch scratch;
-  std::vector<VertexId> candidates;  // potential members of the next round
-};
-
-/// findHi (Alg. 3 lines 16-21): the smallest support value s such that the
-/// cumulative static wedge count of alive vertices with support ≤ s reaches
-/// `target`, returned as the exclusive bound s+1. Falls back to
-/// max_support+1 when the total wedge mass is below the target (the range
-/// then absorbs every remaining vertex).
-Count FindHi(std::vector<std::pair<Count, Count>>& support_and_wedges,
-             double target) {
-  std::sort(support_and_wedges.begin(), support_and_wedges.end());
-  double cumulative = 0.0;
-  for (const auto& [support, wedges] : support_and_wedges) {
-    cumulative += static_cast<double>(wedges);
-    if (cumulative >= target) return support + 1;
-  }
-  return support_and_wedges.back().first + 1;
-}
-
-/// Claims `v` for the current round exactly once across threads.
-bool ClaimStamp(std::vector<uint32_t>& stamps, VertexId v, uint32_t round) {
-  auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps[v]);
-  uint32_t seen = slot->load(std::memory_order_relaxed);
-  while (seen != round) {
-    if (slot->compare_exchange_weak(seen, round,
-                                    std::memory_order_relaxed)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
                    PeelStats* stats) {
+  engine::WorkspacePool pool;
+  return ReceiptCd(graph, options, pool, stats);
+}
+
+CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
+                   engine::WorkspacePool& pool, PeelStats* stats) {
   const int num_threads = options.num_threads;
   const VertexId num_u = graph.num_u();
-  const uint64_t num_edges = graph.num_edges();
   const uint32_t max_partitions =
       static_cast<uint32_t>(std::max(1, options.num_partitions));
 
-  CdResult cd;
-  cd.subset_of.assign(num_u, 0);
-  cd.init_support.assign(num_u, 0);
-  cd.bounds = {0};
-
   DynamicGraph live(graph, graph.DegreeDescendingRanks());
+  pool.Prepare(std::max(1, num_threads), graph.num_vertices());
 
   // Support initialization via pvBcnt (Alg. 3 line 2).
   WallTimer count_timer;
   std::vector<Count> support(graph.num_vertices(), 0);
-  PerVertexButterflyCount(live, num_threads, support,
-                          &stats->wedges_counting);
+  stats->wedges_counting +=
+      engine::CountVertexButterflies(live, pool, num_threads, support);
   stats->seconds_counting = count_timer.Seconds();
 
   const WallTimer cd_timer;
@@ -81,165 +43,16 @@ CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
   ParallelFor(num_u, num_threads, [&](size_t u) {
     wedge_static[u] = graph.WedgeCount(static_cast<VertexId>(u));
   });
-  double remaining_wedges = 0.0;
-  for (const Count w : wedge_static) {
-    remaining_wedges += static_cast<double>(w);
-  }
-  double target = remaining_wedges / max_partitions;  // Alg. 3 line 4
 
-  Count recount_bound = options.use_huc ? live.RecountCostBound() : 0;
-  uint64_t wedges_since_compact = 0;
+  engine::GraphMaintenance maintenance(live, options.use_huc,
+                                       options.use_dgm, graph.num_edges());
+  engine::TipPeelGraph peel_graph(live, support);
+  engine::RangeDecomposer<engine::TipPeelGraph> decomposer(
+      peel_graph, wedge_static, max_partitions, num_threads, pool,
+      &maintenance);
+  CdResult cd = decomposer.Run(stats);
 
-  std::vector<CdThreadBuffer> buffers(static_cast<size_t>(num_threads));
-  for (auto& b : buffers) b.scratch.Resize(graph.num_vertices());
-  std::vector<uint32_t> stamps(num_u, 0);
-  uint32_t round_stamp = 0;
-
-  std::vector<Count> fresh_support(graph.num_vertices());
-  std::vector<std::pair<Count, Count>> range_scratch;
-  std::vector<VertexId> active;
-  std::vector<VertexId> candidates;
-
-  VertexId alive_count = num_u;
-  while (alive_count > 0) {
-    const uint32_t subset_index = static_cast<uint32_t>(cd.subsets.size());
-    const Count lo = cd.bounds.back();
-
-    // Snapshot ⊲⊳init before any vertex of this subset is peeled
-    // (Alg. 3 lines 6-7).
-    ParallelFor(num_u, num_threads, [&](size_t u) {
-      if (live.IsAlive(static_cast<VertexId>(u))) {
-        cd.init_support[u] = support[u];
-      }
-    });
-
-    // Upper bound of this range (Alg. 3 line 8). Once the user-specified P
-    // is exhausted, the final subset takes everything that remains (§3.1.1).
-    Count hi = kInvalidCount;
-    if (subset_index < max_partitions) {
-      range_scratch.clear();
-      for (VertexId u = 0; u < num_u; ++u) {
-        if (live.IsAlive(u)) range_scratch.emplace_back(support[u],
-                                                        wedge_static[u]);
-      }
-      hi = FindHi(range_scratch, std::max(1.0, target));
-    }
-
-    cd.subsets.emplace_back();
-    std::vector<VertexId>& subset = cd.subsets.back();
-
-    // First active set of the range: full scan (Alg. 3 line 9).
-    active.clear();
-    for (VertexId u = 0; u < num_u; ++u) {
-      if (live.IsAlive(u) && support[u] < hi) active.push_back(u);
-    }
-
-    while (!active.empty()) {
-      ++stats->sync_rounds;
-      ++stats->peel_iterations;
-
-      // Assign and delete the whole round first so no update flows between
-      // two vertices peeled together (Lemma 2).
-      for (const VertexId u : active) {
-        cd.subset_of[u] = subset_index;
-        live.Kill(u);
-      }
-      alive_count -= static_cast<VertexId>(active.size());
-      subset.insert(subset.end(), active.begin(), active.end());
-
-      Count peel_cost = 0;
-      for (const VertexId u : active) peel_cost += wedge_static[u];
-
-      bool need_full_scan = false;
-      if (options.use_huc && alive_count > 0 && peel_cost > recount_bound) {
-        // Hybrid Update Computation (§4.1): this round's peeling would
-        // traverse more wedges than a full re-count, so re-count instead.
-        ++stats->huc_recounts;
-        live.Compact(num_threads);
-        ++stats->dgm_compactions;
-        wedges_since_compact = 0;
-        uint64_t recount_wedges = 0;
-        PerVertexButterflyCount(live, num_threads, fresh_support,
-                                &recount_wedges);
-        stats->wedges_cd += recount_wedges;
-        ParallelFor(num_u, num_threads, [&](size_t u) {
-          if (live.IsAlive(static_cast<VertexId>(u))) {
-            support[u] = std::max(lo, fresh_support[u]);
-          }
-        });
-        recount_bound = live.RecountCostBound();
-        need_full_scan = true;
-      } else {
-        ++round_stamp;
-        const uint32_t current_stamp = round_stamp;
-        PerThreadCounters wedge_counters(num_threads);
-        ParallelForWithContext(
-            active.size(), num_threads, buffers,
-            [&](CdThreadBuffer& buf, size_t i) {
-              const uint64_t wedges = PeelUpdate</*kAtomic=*/true>(
-                  live, active[i], lo, support, buf.scratch,
-                  [&](VertexId u2, Count new_support) {
-                    if (new_support < hi &&
-                        ClaimStamp(stamps, u2, current_stamp)) {
-                      buf.candidates.push_back(u2);
-                    }
-                  });
-              wedge_counters.Add(ThreadId(), wedges);
-            });
-        const uint64_t round_wedges = wedge_counters.Total();
-        stats->wedges_cd += round_wedges;
-        wedges_since_compact += round_wedges;
-
-        candidates.clear();
-        for (auto& buf : buffers) {
-          candidates.insert(candidates.end(), buf.candidates.begin(),
-                            buf.candidates.end());
-          buf.candidates.clear();
-        }
-      }
-
-      // Dynamic Graph Maintenance (§4.2): compact adjacency once ≥ m wedges
-      // were traversed since the last compaction.
-      if (options.use_dgm && wedges_since_compact > num_edges) {
-        live.Compact(num_threads);
-        ++stats->dgm_compactions;
-        wedges_since_compact = 0;
-        if (options.use_huc) recount_bound = live.RecountCostBound();
-      }
-
-      // Next active set (Alg. 3 line 14): tracked candidates, or a full
-      // scan right after a re-count invalidated the tracking.
-      active.clear();
-      if (need_full_scan) {
-        for (VertexId u = 0; u < num_u; ++u) {
-          if (live.IsAlive(u) && support[u] < hi) active.push_back(u);
-        }
-      } else {
-        for (const VertexId u : candidates) {
-          if (live.IsAlive(u) && support[u] < hi) active.push_back(u);
-        }
-      }
-    }
-
-    // Two-way adaptive range determination (§3.1.1): recompute the target
-    // from what remains and damp it by this subset's overshoot.
-    double subset_wedges = 0.0;
-    for (const VertexId u : subset) {
-      subset_wedges += static_cast<double>(wedge_static[u]);
-    }
-    remaining_wedges -= subset_wedges;
-    if (subset_index + 1 < max_partitions) {
-      const double base =
-          remaining_wedges /
-          static_cast<double>(max_partitions - subset_index - 1);
-      const double scale =
-          subset_wedges > 0.0 ? std::min(1.0, target / subset_wedges) : 1.0;
-      target = std::max(1.0, base * scale);
-    }
-    cd.bounds.push_back(hi);
-  }
-
-  stats->num_subsets = cd.subsets.size();
+  stats->dgm_compactions += maintenance.compactions();
   stats->seconds_cd = cd_timer.Seconds();
   return cd;
 }

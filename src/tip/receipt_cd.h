@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/range_result.h"
+#include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
 #include "tip/tip_common.h"
 #include "util/stats.h"
@@ -11,23 +13,15 @@
 
 namespace receipt {
 
-/// Output of the Coarse-grained Decomposition step.
-struct CdResult {
-  /// θ(1)=0, θ(2), …, θ(P'+1): subset i (0-based) covers tip numbers in
-  /// [bounds[i], bounds[i+1]). The final bound is kInvalidCount if the
-  /// last subset absorbed every leftover vertex (its range is unbounded).
-  std::vector<Count> bounds;
-
-  /// U_1 … U_P' in side-local U ids, each in the order vertices were peeled.
-  std::vector<std::vector<VertexId>> subsets;
-
-  /// subset_of[u] = subset index of u.
-  std::vector<uint32_t> subset_of;
-
-  /// ⊲⊳init: the support of u after all lower subsets were fully peeled and
-  /// before its own subset's peeling began — the FD initialization vector.
-  std::vector<Count> init_support;
-};
+/// Output of the Coarse-grained Decomposition step: the engine's range
+/// decomposition instantiated for vertices. Fields:
+///   bounds       θ(1)=0, θ(2), …, θ(P'+1): subset i (0-based) covers tip
+///                numbers in [bounds[i], bounds[i+1]); the final bound is
+///                kInvalidCount if the last subset is unbounded.
+///   subsets      U_1 … U_P' in side-local U ids, in peeling order.
+///   subset_of    subset_of[u] = subset index of u.
+///   init_support ⊲⊳init — the FD initialization vector.
+using CdResult = engine::RangeResult<VertexId>;
 
 /// RECEIPT CD (Alg. 3): partitions the U side of `graph` into ≤ P+1 vertex
 /// subsets with non-overlapping tip-number ranges, by iteratively peeling
@@ -43,6 +37,12 @@ struct CdResult {
 /// seconds_counting/seconds_cd to `*stats`.
 CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
                    PeelStats* stats);
+
+/// Pool-sharing overload: reuses `pool`'s per-thread workspaces for
+/// counting and every peeling round (ReceiptDecompose passes one pool
+/// through CD and FD so the whole decomposition allocates scratch once).
+CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
+                   engine::WorkspacePool& pool, PeelStats* stats);
 
 }  // namespace receipt
 

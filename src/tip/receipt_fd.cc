@@ -5,11 +5,9 @@
 #include <numeric>
 #include <vector>
 
-#include "butterfly/butterfly_count.h"
+#include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
 #include "graph/induced_subgraph.h"
-#include "tip/extraction.h"
-#include "tip/peel_update.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -17,10 +15,11 @@ namespace receipt {
 namespace {
 
 /// Peels one subset to completion (the body of Alg. 4 lines 5-10), entirely
-/// on one thread. Accumulates wedge/HUC/DGM counters into `*local_stats`.
+/// on one thread: builds the induced subgraph, seeds supports from ⊲⊳init,
+/// and hands the loop to the engine's sequential peeler.
 void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
-                const TipOptions& options, std::span<Count> tip_numbers,
-                PeelStats* local_stats) {
+                const TipOptions& options, engine::PeelWorkspace& ws,
+                std::span<Count> tip_numbers, PeelStats* local_stats) {
   const std::vector<VertexId>& members = cd.subsets[sid];
   if (members.empty()) return;
 
@@ -30,91 +29,27 @@ void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
   const BipartiteGraph& sg = induced.graph;
   DynamicGraph live(sg, sg.DegreeDescendingRanks());
   const VertexId num_local = sg.num_u();
-  const uint64_t local_edges = sg.num_edges();
 
   // Support initialization from ⊲⊳init (Alg. 4 line 6).
-  std::vector<Count> support(sg.num_vertices(), 0);
+  ws.support_buffer.assign(sg.num_vertices(), 0);
   for (VertexId lu = 0; lu < num_local; ++lu) {
-    support[lu] = cd.init_support[members[lu]];
+    ws.support_buffer[lu] = cd.init_support[members[lu]];
   }
 
-  // HUC bookkeeping: the external contribution of each vertex (butterflies
-  // shared with higher subsets) is fixed during FD and equals
-  // ⊲⊳init − (butterflies inside G_i) — §4.1.
-  std::vector<Count> external;
-  std::vector<Count> wedge_static;
-  std::vector<Count> recount_buffer;
-  Count recount_bound = 0;
-  if (options.use_huc) {
-    recount_buffer.assign(sg.num_vertices(), 0);
-    uint64_t count_wedges = 0;
-    PerVertexButterflyCount(live, /*num_threads=*/1, recount_buffer,
-                            &count_wedges);
-    local_stats->wedges_fd += count_wedges;
-    external.resize(num_local);
-    for (VertexId lu = 0; lu < num_local; ++lu) {
-      external[lu] = support[lu] >= recount_buffer[lu]
-                         ? support[lu] - recount_buffer[lu]
-                         : 0;
-    }
-    recount_bound = live.RecountCostBound();
-    wedge_static.resize(num_local);
-    for (VertexId lu = 0; lu < num_local; ++lu) {
-      wedge_static[lu] = sg.WedgeCount(lu);
-    }
-  }
-
-  MinExtractor extractor(options.min_extraction, support, num_local);
-
-  UpdateScratch scratch;
-  scratch.Resize(sg.num_vertices());
-
-  uint64_t wedges_since_compact = 0;
-  VertexId alive_count = num_local;
-  Count theta = cd.bounds[sid];  // tip numbers of this subset start at θ(i)
-
-  while (auto entry = extractor.PopMin(support)) {
-    const auto [key, lu] = *entry;
-    theta = std::max(theta, key);
-    tip_numbers[members[lu]] = theta;
-    live.Kill(lu);
-    --alive_count;
-    if (alive_count == 0) break;
-
-    if (options.use_huc && wedge_static[lu] > recount_bound) {
-      // Re-counting this small induced graph is cheaper than exploring the
-      // peeled vertex's wedges.
-      ++local_stats->huc_recounts;
-      live.Compact(/*num_threads=*/1);
-      ++local_stats->dgm_compactions;
-      wedges_since_compact = 0;
-      uint64_t recount_wedges = 0;
-      PerVertexButterflyCount(live, /*num_threads=*/1, recount_buffer,
-                              &recount_wedges);
-      local_stats->wedges_fd += recount_wedges;
-      for (VertexId lu2 = 0; lu2 < num_local; ++lu2) {
-        if (!live.IsAlive(lu2)) continue;
-        support[lu2] = std::max(theta, recount_buffer[lu2] + external[lu2]);
-      }
-      extractor.Rebuild(support);
-      recount_bound = live.RecountCostBound();
-    } else {
-      const uint64_t wedges = PeelUpdate</*kAtomic=*/false>(
-          live, lu, theta, support, scratch,
-          [&extractor](VertexId u2, Count new_support) {
-            extractor.NotifyUpdate(u2, new_support);
-          });
-      local_stats->wedges_fd += wedges;
-      wedges_since_compact += wedges;
-    }
-
-    if (options.use_dgm && wedges_since_compact > local_edges) {
-      live.Compact(/*num_threads=*/1);
-      ++local_stats->dgm_compactions;
-      wedges_since_compact = 0;
-      if (options.use_huc) recount_bound = live.RecountCostBound();
-    }
-  }
+  engine::SequentialPeelConfig config;
+  config.min_extraction = options.min_extraction;
+  config.use_huc = options.use_huc;
+  config.use_dgm = options.use_dgm;
+  config.floor0 = cd.bounds[sid];  // tip numbers of this subset start here
+  config.stop_when_peeled = true;
+  const engine::SequentialPeelOutcome outcome = engine::SequentialTipPeel(
+      sg, live, std::span<Count>(ws.support_buffer.data(), sg.num_vertices()),
+      num_local, config, ws, [&](VertexId lu, Count theta) {
+        tip_numbers[members[lu]] = theta;
+      });
+  local_stats->wedges_fd += outcome.wedges;
+  local_stats->huc_recounts += outcome.huc_recounts;
+  local_stats->dgm_compactions += outcome.dgm_compactions;
 }
 
 }  // namespace
@@ -146,9 +81,17 @@ std::vector<Count> ComputeSubsetWedgeCounts(const BipartiteGraph& graph,
 void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
                const TipOptions& options, std::span<Count> tip_numbers,
                PeelStats* stats) {
+  engine::WorkspacePool pool;
+  ReceiptFd(graph, cd, options, pool, tip_numbers, stats);
+}
+
+void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
+               const TipOptions& options, engine::WorkspacePool& pool,
+               std::span<Count> tip_numbers, PeelStats* stats) {
   const WallTimer fd_timer;
   const uint32_t num_subsets = static_cast<uint32_t>(cd.subsets.size());
   if (num_subsets == 0) return;
+  pool.Prepare(std::max(1, options.num_threads), graph.num_vertices());
 
   // Workload-aware scheduling (§3.2.1): largest induced wedge count first.
   std::vector<uint32_t> order(num_subsets);
@@ -169,11 +112,13 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
       static_cast<size_t>(options.num_threads));
 #pragma omp parallel num_threads(options.num_threads)
   {
-    PeelStats& local = local_stats[static_cast<size_t>(ThreadId())];
+    const int tid = ThreadId();
+    PeelStats& local = local_stats[static_cast<size_t>(tid)];
+    engine::PeelWorkspace& ws = pool.Get(tid);
     while (true) {
       const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
       if (k >= num_subsets) break;
-      PeelSubset(graph, cd, order[k], options, tip_numbers, &local);
+      PeelSubset(graph, cd, order[k], options, ws, tip_numbers, &local);
     }
   }
   for (const PeelStats& local : local_stats) {

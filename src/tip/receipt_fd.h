@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
 #include "tip/receipt_cd.h"
 #include "tip/tip_common.h"
@@ -23,9 +24,9 @@ std::vector<Count> ComputeSubsetWedgeCounts(const BipartiteGraph& graph,
 /// independently. Worker threads atomically pop subset ids from a task queue
 /// (sorted by decreasing induced wedge count when
 /// options.workload_aware_scheduling is set), build the induced subgraph,
-/// initialize supports from ⊲⊳init, and run sequential bottom-up peeling
-/// with a k-way min-heap. No thread synchronization occurs until the final
-/// join, so FD adds 0 to sync_rounds.
+/// initialize supports from ⊲⊳init, and run the engine's sequential
+/// bottom-up peeler with a k-way min-heap. No thread synchronization occurs
+/// until the final join, so FD adds 0 to sync_rounds.
 ///
 /// Honours options.use_huc (re-count within the induced subgraph plus the
 /// fixed external contribution ⊲⊳init − ⊲⊳in_G_i, §4.1) and options.use_dgm.
@@ -35,6 +36,12 @@ std::vector<Count> ComputeSubsetWedgeCounts(const BipartiteGraph& graph,
 void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
                const TipOptions& options, std::span<Count> tip_numbers,
                PeelStats* stats);
+
+/// Pool-sharing overload: each worker thread peels its subsets with its own
+/// workspace from `pool`, so successive partitions reuse the same scratch.
+void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
+               const TipOptions& options, engine::WorkspacePool& pool,
+               std::span<Count> tip_numbers, PeelStats* stats);
 
 }  // namespace receipt
 

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/counting.h"
+#include "engine/peel_engine.h"
 #include "tip/min_heap.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -14,121 +16,21 @@
 namespace receipt {
 namespace {
 
-/// Edge life-cycle during coarse peeling. kPeeling marks the current
-/// round's extraction set: still part of butterflies for enumeration
-/// purposes, but already claimed (the priority rule arbitrates updates).
-enum EdgeState : uint8_t { kDead = 0, kAlive = 1, kPeeling = 2 };
+using CoarseWingResult = engine::RangeResult<EdgeOffset>;
 
-/// Enumerates every butterfly of `e` whose four edges are all not-dead and
-/// for which `e` is the applier (the minimum-id kPeeling edge in the
-/// butterfly), invoking `apply(x)` for each of the butterfly's other edges
-/// x that are still kAlive. Returns wedges traversed.
-///
-/// `mark` is caller-provided scratch of size num_v, zero before and after.
-template <typename Apply>
-uint64_t PeelEdgeButterflies(const BipartiteGraph& graph,
-                             const EdgeTopology& topo,
-                             const std::vector<uint8_t>& state, EdgeOffset e,
-                             std::vector<EdgeOffset>& mark, Apply&& apply) {
-  uint64_t wedges = 0;
-  const VertexId u = topo.source[e];
-  const VertexId gv = graph.adjacency()[e];
-
-  const EdgeOffset u_base = graph.NeighborOffset(u);
-  const auto u_nbrs = graph.Neighbors(u);
-  for (size_t j = 0; j < u_nbrs.size(); ++j) {
-    const EdgeOffset h = u_base + j;
-    if (state[h] != kDead) mark[u_nbrs[j] - graph.num_u()] = h + 1;
-  }
-  mark[gv - graph.num_u()] = 0;  // exclude e itself
-
-  const EdgeOffset v_base = graph.NeighborOffset(gv);
-  const auto v_nbrs = graph.Neighbors(gv);
-  for (size_t s = 0; s < v_nbrs.size(); ++s) {
-    const VertexId u2 = v_nbrs[s];
-    const EdgeOffset f = topo.v_slot_edge[v_base + s - topo.v_region];
-    if (f == e || state[f] == kDead) continue;
-    const EdgeOffset u2_base = graph.NeighborOffset(u2);
-    const auto u2_nbrs = graph.Neighbors(u2);
-    for (size_t t = 0; t < u2_nbrs.size(); ++t) {
-      ++wedges;
-      const VertexId gv2 = u2_nbrs[t];
-      if (gv2 == gv) continue;
-      const EdgeOffset g2 = u2_base + t;
-      if (state[g2] == kDead) continue;
-      const EdgeOffset h_plus1 = mark[gv2 - graph.num_u()];
-      if (h_plus1 == 0) continue;
-      const EdgeOffset h = h_plus1 - 1;
-      // Butterfly {e, f, g2, h}. Priority rule: the minimum-id peeling
-      // edge applies the update; everyone else skips.
-      if ((state[f] == kPeeling && f < e) ||
-          (state[g2] == kPeeling && g2 < e) ||
-          (state[h] == kPeeling && h < e)) {
-        continue;
-      }
-      if (state[f] == kAlive) apply(f);
-      if (state[g2] == kAlive) apply(g2);
-      if (state[h] == kAlive) apply(h);
-    }
-  }
-
-  for (const VertexId nbr : u_nbrs) mark[nbr - graph.num_u()] = 0;
-  return wedges;
-}
-
-/// findHi over edges: smallest support s whose cumulative peel-cost mass
-/// reaches `target`, as the exclusive bound s+1.
-Count FindEdgeHi(std::vector<std::pair<Count, Count>>& support_and_cost,
-                 double target) {
-  std::sort(support_and_cost.begin(), support_and_cost.end());
-  double cumulative = 0.0;
-  for (const auto& [support, cost] : support_and_cost) {
-    cumulative += static_cast<double>(cost);
-    if (cumulative >= target) return support + 1;
-  }
-  return support_and_cost.back().first + 1;
-}
-
-bool ClaimStamp(std::vector<uint32_t>& stamps, EdgeOffset e, uint32_t round) {
-  auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps[e]);
-  uint32_t seen = slot->load(std::memory_order_relaxed);
-  while (seen != round) {
-    if (slot->compare_exchange_weak(seen, round,
-                                    std::memory_order_relaxed)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-struct CoarseWingResult {
-  std::vector<Count> bounds;                    // θ(1)=0 … θ(P'+1)
-  std::vector<uint32_t> subset_of;              // per edge
-  std::vector<Count> init_support;              // per edge
-  std::vector<std::vector<EdgeOffset>> subsets;
-};
-
-struct WingThreadBuffer {
-  std::vector<EdgeOffset> mark;        // V-side scratch
-  std::vector<EdgeOffset> candidates;  // next-round candidates
-};
-
-/// Coarse-grained edge decomposition: the RECEIPT CD loop transplanted to
-/// edges, with the §7 priority rule for same-round butterfly conflicts.
+/// Coarse-grained edge decomposition: the engine's range decomposer
+/// instantiated for edges, with the §7 priority rule for same-round
+/// butterfly conflicts handled inside the edge peel kernel.
 CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
                                      const EdgeTopology& topo,
                                      const ReceiptWingOptions& options,
                                      std::vector<Count>& support,
+                                     engine::WorkspacePool& pool,
                                      PeelStats* stats) {
   const uint64_t num_edges = graph.num_edges();
   const int num_threads = options.num_threads;
   const uint32_t max_partitions =
       static_cast<uint32_t>(std::max(1, options.num_partitions));
-
-  CoarseWingResult coarse;
-  coarse.subset_of.assign(num_edges, 0);
-  coarse.init_support.assign(num_edges, 0);
-  coarse.bounds = {0};
 
   // Static peel-cost proxy for edge (u, v): marking N(u) plus scanning the
   // neighborhoods of N(v).
@@ -139,108 +41,13 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
     cost_static[e] =
         graph.Degree(u) + graph.WedgeCount(gv) + graph.Degree(gv);
   });
-  double remaining_cost = 0.0;
-  for (const Count c : cost_static) remaining_cost += static_cast<double>(c);
-  double target = remaining_cost / max_partitions;
 
-  std::vector<uint8_t> state(num_edges, kAlive);
-  std::vector<uint32_t> stamps(num_edges, 0);
-  uint32_t round_stamp = 0;
-
-  std::vector<WingThreadBuffer> buffers(static_cast<size_t>(num_threads));
-  for (auto& b : buffers) b.mark.assign(graph.num_v(), 0);
-
-  std::vector<std::pair<Count, Count>> range_scratch;
-  std::vector<EdgeOffset> active;
-  std::vector<EdgeOffset> candidates;
-
-  uint64_t alive_count = num_edges;
-  while (alive_count > 0) {
-    const uint32_t subset_index = static_cast<uint32_t>(coarse.subsets.size());
-    const Count lo = coarse.bounds.back();
-
-    ParallelFor(num_edges, num_threads, [&](size_t e) {
-      if (state[e] == kAlive) coarse.init_support[e] = support[e];
-    });
-
-    Count hi = kInvalidCount;
-    if (subset_index < max_partitions) {
-      range_scratch.clear();
-      for (EdgeOffset e = 0; e < num_edges; ++e) {
-        if (state[e] == kAlive) {
-          range_scratch.emplace_back(support[e], cost_static[e]);
-        }
-      }
-      hi = FindEdgeHi(range_scratch, std::max(1.0, target));
-    }
-
-    coarse.subsets.emplace_back();
-    std::vector<EdgeOffset>& subset = coarse.subsets.back();
-
-    active.clear();
-    for (EdgeOffset e = 0; e < num_edges; ++e) {
-      if (state[e] == kAlive && support[e] < hi) active.push_back(e);
-    }
-
-    while (!active.empty()) {
-      ++stats->sync_rounds;
-      ++stats->peel_iterations;
-      for (const EdgeOffset e : active) {
-        coarse.subset_of[e] = subset_index;
-        state[e] = kPeeling;
-      }
-      alive_count -= active.size();
-      subset.insert(subset.end(), active.begin(), active.end());
-
-      ++round_stamp;
-      const uint32_t current_stamp = round_stamp;
-      PerThreadCounters wedge_counters(num_threads);
-      ParallelForWithContext(
-          active.size(), num_threads, buffers,
-          [&](WingThreadBuffer& buf, size_t i) {
-            const EdgeOffset e = active[i];
-            const uint64_t wedges = PeelEdgeButterflies(
-                graph, topo, state, e, buf.mark, [&](EdgeOffset x) {
-                  const Count next =
-                      AtomicClampedSub(&support[x], Count{1}, lo);
-                  if (next < hi && ClaimStamp(stamps, x, current_stamp)) {
-                    buf.candidates.push_back(x);
-                  }
-                });
-            wedge_counters.Add(ThreadId(), wedges);
-          });
-      stats->wedges_cd += wedge_counters.Total();
-
-      for (const EdgeOffset e : active) state[e] = kDead;
-      candidates.clear();
-      for (auto& buf : buffers) {
-        candidates.insert(candidates.end(), buf.candidates.begin(),
-                          buf.candidates.end());
-        buf.candidates.clear();
-      }
-      active.clear();
-      for (const EdgeOffset e : candidates) {
-        if (state[e] == kAlive && support[e] < hi) active.push_back(e);
-      }
-    }
-
-    double subset_cost = 0.0;
-    for (const EdgeOffset e : subset) {
-      subset_cost += static_cast<double>(cost_static[e]);
-    }
-    remaining_cost -= subset_cost;
-    if (subset_index + 1 < max_partitions) {
-      const double base =
-          remaining_cost /
-          static_cast<double>(max_partitions - subset_index - 1);
-      const double scale =
-          subset_cost > 0.0 ? std::min(1.0, target / subset_cost) : 1.0;
-      target = std::max(1.0, base * scale);
-    }
-    coarse.bounds.push_back(hi);
-  }
-  stats->num_subsets = coarse.subsets.size();
-  return coarse;
+  std::vector<uint8_t> state(num_edges, engine::kEdgeAlive);
+  engine::WingPeelGraph peel_graph(graph, topo, state, support);
+  engine::RangeDecomposer<engine::WingPeelGraph> decomposer(
+      peel_graph, cost_static, max_partitions, num_threads, pool,
+      /*maintenance=*/nullptr);
+  return decomposer.Run(stats);
 }
 
 /// Fine-grained step for one edge subset: sequential bottom-up edge peeling
@@ -248,7 +55,8 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
 void FineWingSubset(const BipartiteGraph& graph,
                     const CoarseWingResult& coarse, uint32_t sid,
                     const std::vector<BipartiteGraph::Edge>& all_edges,
-                    std::span<Count> wing_numbers, PeelStats* local_stats) {
+                    engine::PeelWorkspace& ws, std::span<Count> wing_numbers,
+                    PeelStats* local_stats) {
   if (coarse.subsets[sid].empty()) return;
   const uint64_t num_edges = graph.num_edges();
 
@@ -267,45 +75,27 @@ void FineWingSubset(const BipartiteGraph& graph,
   const EdgeTopology topo = BuildEdgeTopology(env);
   const uint64_t env_size = env.num_edges();
 
-  std::vector<uint8_t> state(env_size, kAlive);
+  std::vector<uint8_t> state(env_size, engine::kEdgeAlive);
   std::vector<uint8_t> in_subset(env_size, 0);
-  std::vector<Count> support(env_size, 0);
+  ws.support_buffer.assign(env_size, 0);
   LazyMinHeap<4> heap;
   uint64_t remaining = 0;
   for (uint64_t k = 0; k < env_size; ++k) {
     const EdgeOffset global = env_ids[k];
-    support[k] = coarse.init_support[global];
+    ws.support_buffer[k] = coarse.init_support[global];
     if (coarse.subset_of[global] == sid) {
       in_subset[k] = 1;
-      heap.Push(support[k], static_cast<VertexId>(k));
+      heap.Push(ws.support_buffer[k], static_cast<VertexId>(k));
       ++remaining;
     }
   }
 
-  std::vector<EdgeOffset> mark(env.num_v(), 0);
-  Count theta = coarse.bounds[sid];
-  const auto peelable = [&](VertexId k) {
-    return state[k] == kAlive && in_subset[k] != 0;
-  };
-  while (auto entry = heap.PopValid(support, peelable)) {
-    const auto [key, k32] = *entry;
-    const EdgeOffset k = k32;
-    theta = std::max(theta, key);
-    wing_numbers[env_ids[k]] = theta;
-    state[k] = kPeeling;  // single peeling edge: priority rule is trivial
-    local_stats->wedges_fd += PeelEdgeButterflies(
-        env, topo, state, k, mark, [&](EdgeOffset x) {
-          if (!in_subset[x]) return;  // higher subsets are never updated
-          const Count cur = support[x];
-          const Count next = cur > theta + 1 ? cur - 1 : theta;
-          if (next != cur) {
-            support[x] = next;
-            heap.Push(next, static_cast<VertexId>(x));
-          }
-        });
-    state[k] = kDead;
-    if (--remaining == 0) break;
-  }
+  const engine::WingPeelOutcome outcome = engine::SequentialWingPeel(
+      env, topo, state, std::span<Count>(ws.support_buffer.data(), env_size),
+      heap, remaining, /*floor0=*/coarse.bounds[sid], ws,
+      [&in_subset](EdgeOffset x) { return in_subset[x] != 0; },
+      [&](EdgeOffset k, Count theta) { wing_numbers[env_ids[k]] = theta; });
+  local_stats->wedges_fd += outcome.wedges;
 }
 
 }  // namespace
@@ -322,15 +112,19 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
   }
 
   const EdgeTopology topo = BuildEdgeTopology(graph);
+  engine::WorkspacePool pool;
+  pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
+               graph.num_v());
 
   WallTimer count_timer;
-  std::vector<Count> support = PerEdgeButterflyCount(
-      graph, options.num_threads, &result.stats.wedges_counting);
+  std::vector<Count> support(num_edges, 0);
+  result.stats.wedges_counting = engine::CountEdgeButterflies(
+      graph, pool, options.num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
 
   const WallTimer cd_timer;
   const CoarseWingResult coarse = CoarseWingDecompose(
-      graph, topo, options, support, &result.stats);
+      graph, topo, options, support, pool, &result.stats);
   result.stats.seconds_cd = cd_timer.Seconds();
 
   const WallTimer fd_timer;
@@ -347,11 +141,13 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
       static_cast<size_t>(options.num_threads));
 #pragma omp parallel num_threads(options.num_threads)
   {
-    PeelStats& local = local_stats[static_cast<size_t>(ThreadId())];
+    const int tid = ThreadId();
+    PeelStats& local = local_stats[static_cast<size_t>(tid)];
+    engine::PeelWorkspace& ws = pool.Get(tid);
     while (true) {
       const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
       if (k >= num_subsets) break;
-      FineWingSubset(graph, coarse, order[k], all_edges,
+      FineWingSubset(graph, coarse, order[k], all_edges, ws,
                      result.wing_numbers, &local);
     }
   }

@@ -1,9 +1,10 @@
 #include "wing/wing_decomposition.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "engine/counting.h"
+#include "engine/peel_engine.h"
 #include "tip/min_heap.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -22,47 +23,13 @@ VertexId EdgeSourceU(const BipartiteGraph& graph, EdgeOffset edge_id) {
 std::vector<Count> PerEdgeButterflyCount(const BipartiteGraph& graph,
                                          int num_threads,
                                          uint64_t* wedges_traversed) {
-  const uint64_t m = graph.num_edges();
-  std::vector<Count> support(m, 0);
-
-  struct Scratch {
-    std::vector<uint32_t> wedge_count;  // |N(u) ∩ N(u2)| per 2-hop neighbor
-    std::vector<VertexId> touched;
-    uint64_t wedges = 0;
-  };
-  std::vector<Scratch> scratch(static_cast<size_t>(num_threads));
-  for (auto& s : scratch) s.wedge_count.assign(graph.num_u(), 0);
-
-  ParallelForWithContext(
-      graph.num_u(), num_threads, scratch, [&](Scratch& ctx, size_t ui) {
-        const VertexId u = static_cast<VertexId>(ui);
-        ctx.touched.clear();
-        for (const VertexId gv : graph.Neighbors(u)) {
-          for (const VertexId u2 : graph.Neighbors(gv)) {
-            ++ctx.wedges;
-            if (u2 == u) continue;
-            if (ctx.wedge_count[u2]++ == 0) ctx.touched.push_back(u2);
-          }
-        }
-        // bcnt(u, v) = Σ_{u2 ∈ N(v)\{u}} (common(u, u2) − 1).
-        const EdgeOffset base = graph.NeighborOffset(u);
-        const auto nbrs = graph.Neighbors(u);
-        for (size_t j = 0; j < nbrs.size(); ++j) {
-          Count bcnt = 0;
-          for (const VertexId u2 : graph.Neighbors(nbrs[j])) {
-            ++ctx.wedges;
-            if (u2 == u) continue;
-            const uint32_t common = ctx.wedge_count[u2];
-            if (common >= 2) bcnt += common - 1;
-          }
-          support[base + j] = bcnt;
-        }
-        for (const VertexId u2 : ctx.touched) ctx.wedge_count[u2] = 0;
-      });
-
-  if (wedges_traversed != nullptr) {
-    for (const auto& s : scratch) *wedges_traversed += s.wedges;
-  }
+  // Convenience entry point with a transient workspace pool. Decomposition
+  // hot paths call engine::CountEdgeButterflies with their own pool.
+  std::vector<Count> support(graph.num_edges(), 0);
+  engine::WorkspacePool pool;
+  const uint64_t wedges =
+      engine::CountEdgeButterflies(graph, pool, num_threads, support);
+  if (wedges_traversed != nullptr) *wedges_traversed += wedges;
   return support;
 }
 
@@ -98,84 +65,38 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads) {
   const WallTimer total_timer;
   WingResult result;
   const uint64_t m = graph.num_edges();
+  result.wing_numbers.assign(m, 0);
+  if (m == 0) {
+    result.stats.seconds_total = total_timer.Seconds();
+    return result;
+  }
+
+  engine::WorkspacePool pool;
+  pool.Prepare(std::max(1, num_threads), graph.num_u(), graph.num_v());
 
   WallTimer count_timer;
-  std::vector<Count> support =
-      PerEdgeButterflyCount(graph, num_threads,
-                            &result.stats.wedges_counting);
+  std::vector<Count> support(m, 0);
+  result.stats.wedges_counting =
+      engine::CountEdgeButterflies(graph, pool, num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
 
   const EdgeTopology topo = BuildEdgeTopology(graph);
 
-  std::vector<uint8_t> edge_alive(m, 1);
-  // mark[v_local] = edge id of live (u, v') + 1 while processing u; 0 = none.
-  std::vector<EdgeOffset> mark(graph.num_v(), 0);
-
+  std::vector<uint8_t> state(m, engine::kEdgeAlive);
   LazyMinHeap<4> heap;
   heap.Reserve(m);
   for (EdgeOffset e = 0; e < m; ++e) {
     heap.Push(support[e], static_cast<VertexId>(e));
   }
 
-  result.wing_numbers.assign(m, 0);
-  Count theta = 0;
-  const auto alive = [&edge_alive](VertexId e) {
-    return edge_alive[e] != 0;
-  };
-  const auto clamped_dec = [&support, &theta, &heap](EdgeOffset e) {
-    const Count cur = support[e];
-    const Count next = cur > theta + 1 ? cur - 1 : theta;
-    if (next != cur) {
-      support[e] = next;
-      heap.Push(next, static_cast<VertexId>(e));
-    }
-  };
-
-  while (auto entry = heap.PopValid(support, alive)) {
-    const auto [key, e32] = *entry;
-    const EdgeOffset e = e32;
-    theta = std::max(theta, key);
-    result.wing_numbers[e] = theta;
-    edge_alive[e] = 0;
-    ++result.stats.peel_iterations;
-
-    const VertexId u = topo.source[e];
-    const VertexId gv = graph.adjacency()[e];
-
-    // Mark u's other live edges by their V endpoint.
-    const EdgeOffset u_base = graph.NeighborOffset(u);
-    const auto u_nbrs = graph.Neighbors(u);
-    for (size_t j = 0; j < u_nbrs.size(); ++j) {
-      const EdgeOffset h = u_base + j;
-      if (edge_alive[h]) mark[u_nbrs[j] - graph.num_u()] = h + 1;
-    }
-
-    // Every butterfly (u, u2, v, v') with all three other edges alive loses
-    // this butterfly: decrement (u2,v), (u2,v') and (u,v').
-    const EdgeOffset v_base = graph.NeighborOffset(gv);
-    const auto v_nbrs = graph.Neighbors(gv);
-    for (size_t s = 0; s < v_nbrs.size(); ++s) {
-      const VertexId u2 = v_nbrs[s];
-      const EdgeOffset f = topo.v_slot_edge[v_base + s - topo.v_region];
-      if (u2 == u || !edge_alive[f]) continue;
-      const EdgeOffset u2_base = graph.NeighborOffset(u2);
-      const auto u2_nbrs = graph.Neighbors(u2);
-      for (size_t t = 0; t < u2_nbrs.size(); ++t) {
-        ++result.stats.wedges_other;
-        const VertexId gv2 = u2_nbrs[t];
-        if (gv2 == gv) continue;
-        const EdgeOffset g2 = u2_base + t;
-        if (!edge_alive[g2]) continue;
-        const EdgeOffset h_plus1 = mark[gv2 - graph.num_u()];
-        if (h_plus1 == 0) continue;
-        clamped_dec(f);
-        clamped_dec(g2);
-        clamped_dec(h_plus1 - 1);
-      }
-    }
-
-    for (const VertexId nbr : u_nbrs) mark[nbr - graph.num_u()] = 0;
-  }
+  const engine::WingPeelOutcome outcome = engine::SequentialWingPeel(
+      graph, topo, state, support, heap, /*remaining=*/m, /*floor0=*/0,
+      pool.Get(0), [](EdgeOffset) { return true; },
+      [&result](EdgeOffset e, Count theta) {
+        result.wing_numbers[e] = theta;
+      });
+  result.stats.wedges_other = outcome.wedges;
+  result.stats.peel_iterations = outcome.iterations;
 
   result.stats.seconds_total = total_timer.Seconds();
   return result;

@@ -1,0 +1,167 @@
+// Tests for the engine layer's reusable workspaces: allocation happens once
+// per decomposition, scratch state is clean between kernel invocations and
+// partitions, and the shared services (FindRangeBound, GraphMaintenance)
+// behave at their edges.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "engine/counting.h"
+#include "engine/peel_engine.h"
+#include "graph/generators.h"
+#include "tip/receipt_cd.h"
+#include "tip/receipt_fd.h"
+#include "util/stats.h"
+
+namespace receipt {
+namespace {
+
+TEST(WorkspaceTest, WedgeCountersAre64Bit) {
+  // Satellite requirement: dense per-thread wedge counters must be 64-bit
+  // end-to-end (Choose2 of a large multiplicity overflows 32 bits).
+  static_assert(
+      std::is_same_v<decltype(engine::PeelWorkspace::wedge_count)::value_type,
+                     uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(engine::PeelWorkspace::wedges_traversed),
+                     uint64_t>);
+  SUCCEED();
+}
+
+TEST(WorkspaceTest, PrepareIsIdempotent) {
+  engine::WorkspacePool pool;
+  pool.Prepare(4, 1000, 500);
+  const uint64_t growths_after_first = pool.TotalGrowths();
+  EXPECT_GT(growths_after_first, 0u);
+  // Same or smaller shapes must not allocate.
+  pool.Prepare(4, 1000, 500);
+  pool.Prepare(2, 800, 100);
+  EXPECT_EQ(pool.TotalGrowths(), growths_after_first);
+  // A larger shape grows once more, then is stable again.
+  pool.Prepare(4, 2000, 500);
+  const uint64_t growths_after_growth = pool.TotalGrowths();
+  EXPECT_GT(growths_after_growth, growths_after_first);
+  pool.Prepare(4, 2000, 500);
+  EXPECT_EQ(pool.TotalGrowths(), growths_after_growth);
+}
+
+TEST(WorkspaceTest, CountingReusesWorkspacesAcrossRuns) {
+  const BipartiteGraph g = ChungLuBipartite(300, 200, 1500, 0.6, 0.6, 901);
+  const DynamicGraph live(g, g.DegreeDescendingRanks());
+  std::vector<Count> support(g.num_vertices(), 0);
+
+  engine::WorkspacePool pool;
+  const uint64_t w1 =
+      engine::CountVertexButterflies(live, pool, 2, support);
+  const std::vector<Count> first = support;
+  const uint64_t growths_warm = pool.TotalGrowths();
+
+  for (int run = 0; run < 3; ++run) {
+    const uint64_t w = engine::CountVertexButterflies(live, pool, 2, support);
+    EXPECT_EQ(w, w1);
+    EXPECT_EQ(support, first);
+  }
+  // Warm pool: repeated counting allocates nothing.
+  EXPECT_EQ(pool.TotalGrowths(), growths_warm);
+}
+
+TEST(WorkspaceTest, ReceiptSharedPoolDoesNotReallocateOnRepeat) {
+  // The RECEIPT flow (counting + CD rounds + per-partition FD) through one
+  // pool: a second identical decomposition must not grow any buffer.
+  // Single-threaded so FD task→workspace assignment is deterministic (with
+  // dynamic task allocation, which thread warms which buffer varies).
+  const BipartiteGraph g = ChungLuBipartite(400, 250, 2000, 0.6, 0.7, 903);
+  TipOptions options;
+  options.num_threads = 1;
+  options.num_partitions = 8;
+
+  engine::WorkspacePool pool;
+  PeelStats stats1;
+  const CdResult cd1 = ReceiptCd(g, options, pool, &stats1);
+  std::vector<Count> tips1(g.num_u(), 0);
+  ReceiptFd(g, cd1, options, pool, tips1, &stats1);
+  const uint64_t growths_warm = pool.TotalGrowths();
+
+  PeelStats stats2;
+  const CdResult cd2 = ReceiptCd(g, options, pool, &stats2);
+  std::vector<Count> tips2(g.num_u(), 0);
+  ReceiptFd(g, cd2, options, pool, tips2, &stats2);
+
+  EXPECT_EQ(pool.TotalGrowths(), growths_warm);
+  EXPECT_EQ(tips1, tips2);
+  EXPECT_EQ(stats1.TotalWedges(), stats2.TotalWedges());
+}
+
+TEST(WorkspaceTest, ScratchIsCleanAfterDecomposition) {
+  // The zero-state invariant: kernels reset exactly what they touched, so
+  // between partitions (and after a whole decomposition) the dense arrays
+  // are all-zero and the frontier buffers are drained.
+  const BipartiteGraph g = ChungLuBipartite(300, 200, 1500, 0.5, 0.8, 905);
+  TipOptions options;
+  options.num_threads = 2;
+  options.num_partitions = 6;
+
+  engine::WorkspacePool pool;
+  PeelStats stats;
+  const CdResult cd = ReceiptCd(g, options, pool, &stats);
+  std::vector<Count> tips(g.num_u(), 0);
+  ReceiptFd(g, cd, options, pool, tips, &stats);
+
+  for (int tid = 0; tid < pool.num_workspaces(); ++tid) {
+    engine::PeelWorkspace& ws = pool.Get(tid);
+    for (const uint64_t c : ws.wedge_count) EXPECT_EQ(c, 0u) << "tid " << tid;
+    for (const EdgeOffset m : ws.edge_mark) EXPECT_EQ(m, 0u) << "tid " << tid;
+    EXPECT_TRUE(ws.touched.empty()) << "tid " << tid;
+    EXPECT_TRUE(ws.candidates.empty()) << "tid " << tid;
+    EXPECT_TRUE(ws.updates.empty()) << "tid " << tid;
+  }
+}
+
+TEST(FindRangeBoundTest, EmptyInputAbsorbsEverything) {
+  // Satellite requirement: findHi must not dereference .back() of an empty
+  // vector; an empty input yields the unbounded range.
+  std::vector<std::pair<Count, Count>> empty;
+  EXPECT_EQ(engine::FindRangeBound(empty, 10.0), kInvalidCount);
+}
+
+TEST(FindRangeBoundTest, ReturnsExclusiveBoundAtTarget) {
+  std::vector<std::pair<Count, Count>> sc = {{5, 10}, {1, 10}, {3, 10}};
+  // Sorted by support: 1 (mass 10), 3 (20), 5 (30).
+  EXPECT_EQ(engine::FindRangeBound(sc, 10.0), 2u);
+  sc = {{5, 10}, {1, 10}, {3, 10}};
+  EXPECT_EQ(engine::FindRangeBound(sc, 15.0), 4u);
+  sc = {{5, 10}, {1, 10}, {3, 10}};
+  // Mass below target: falls back to max support + 1.
+  EXPECT_EQ(engine::FindRangeBound(sc, 1000.0), 6u);
+}
+
+TEST(GraphMaintenanceTest, RecountDisabledWithoutHuc) {
+  const BipartiteGraph g = CompleteBipartite(6, 6);
+  DynamicGraph live(g, g.DegreeDescendingRanks());
+  engine::GraphMaintenance maintenance(live, /*use_huc=*/false,
+                                       /*use_dgm=*/false, g.num_edges());
+  EXPECT_FALSE(maintenance.ShouldRecount(kInvalidCount - 1));
+  maintenance.OnPeelWedges(1u << 30, 1);
+  EXPECT_EQ(maintenance.compactions(), 0u);
+}
+
+TEST(GraphMaintenanceTest, DgmCompactsWhenBudgetExceeded) {
+  const BipartiteGraph g = CompleteBipartite(6, 6);
+  DynamicGraph live(g, g.DegreeDescendingRanks());
+  engine::GraphMaintenance maintenance(live, /*use_huc=*/true,
+                                       /*use_dgm=*/true,
+                                       /*wedge_budget=*/100);
+  maintenance.OnPeelWedges(100, 1);  // exactly the budget: no trigger
+  EXPECT_EQ(maintenance.compactions(), 0u);
+  maintenance.OnPeelWedges(1, 1);  // crosses it
+  EXPECT_EQ(maintenance.compactions(), 1u);
+  // Accumulator reset: the next wedge does not trigger again.
+  maintenance.OnPeelWedges(1, 1);
+  EXPECT_EQ(maintenance.compactions(), 1u);
+}
+
+}  // namespace
+}  // namespace receipt

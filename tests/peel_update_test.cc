@@ -1,29 +1,31 @@
-// Direct unit tests for the shared support-update routine (Alg. 2 lines
-// 6-13) — the kernel every peeling algorithm builds on.
-
-#include "tip/peel_update.h"
+// Direct unit tests for the shared support-update kernel (Alg. 2 lines
+// 6-13) — engine::PeelVertex, the routine every peeling algorithm builds on.
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "butterfly/butterfly_count.h"
+#include "engine/peel_engine.h"
 #include "graph/generators.h"
 #include "util/parallel.h"
 
 namespace receipt {
 namespace {
 
+using engine::PeelVertex;
+using engine::PeelWorkspace;
+
 struct Fixture {
   explicit Fixture(const BipartiteGraph& graph)
       : g(graph), live(graph, graph.DegreeDescendingRanks()) {
     support = CountButterflies(graph, 1);
-    scratch.Resize(graph.num_vertices());
+    ws.EnsureVertexCapacity(graph.num_vertices());
   }
   const BipartiteGraph& g;
   DynamicGraph live;
   std::vector<Count> support;
-  UpdateScratch scratch;
+  PeelWorkspace ws;
 };
 
 TEST(PeelUpdateTest, DecrementsBySharedButterflies) {
@@ -32,8 +34,8 @@ TEST(PeelUpdateTest, DecrementsBySharedButterflies) {
   // Peel u4 (⊲⊳ = 5) at θ = 5: u5 shares 1 butterfly, core shares 1 each.
   f.live.Kill(4);
   std::vector<std::pair<VertexId, Count>> updates;
-  const uint64_t wedges = PeelUpdate<false>(
-      f.live, 4, /*floor=*/5, f.support, f.scratch,
+  const uint64_t wedges = PeelVertex<false>(
+      f.live, 4, /*floor=*/5, f.support, f.ws,
       [&updates](VertexId u2, Count s) { updates.emplace_back(u2, s); });
   EXPECT_GT(wedges, 0u);
   // u0..u3 had 20 → 19; u5 had 5 → max(5, 5−1) = 5 (clamped).
@@ -48,7 +50,7 @@ TEST(PeelUpdateTest, FloorClampHolds) {
   Fixture f(g);
   // Each pair shares C(4,2) = 6 butterflies; support = 3·6 = 18.
   f.live.Kill(0);
-  PeelUpdate<false>(f.live, 0, /*floor=*/15, f.support, f.scratch,
+  PeelVertex<false>(f.live, 0, /*floor=*/15, f.support, f.ws,
                     [](VertexId, Count) {});
   for (VertexId u = 1; u < 4; ++u) EXPECT_EQ(f.support[u], 15u);  // 18−6<15
 }
@@ -59,8 +61,7 @@ TEST(PeelUpdateTest, SkipsDeadTwoHopNeighbors) {
   f.live.Kill(0);
   f.live.Kill(1);  // dead before the update: must receive nothing
   const Count before = f.support[1];
-  PeelUpdate<false>(f.live, 0, 0, f.support, f.scratch,
-                    [](VertexId, Count) {});
+  PeelVertex<false>(f.live, 0, 0, f.support, f.ws, [](VertexId, Count) {});
   EXPECT_EQ(f.support[1], before);
   EXPECT_EQ(f.support[2], 18u - 6u);
 }
@@ -69,8 +70,8 @@ TEST(PeelUpdateTest, WedgeCountMatchesLiveTraversal) {
   const BipartiteGraph g = ChungLuBipartite(60, 40, 300, 0.5, 0.5, 501);
   Fixture f(g);
   f.live.Kill(7);
-  const uint64_t wedges = PeelUpdate<false>(
-      f.live, 7, 0, f.support, f.scratch, [](VertexId, Count) {});
+  const uint64_t wedges = PeelVertex<false>(
+      f.live, 7, 0, f.support, f.ws, [](VertexId, Count) {});
   // One wedge per (v, u2) slot pair reachable from u=7.
   uint64_t expected = 0;
   for (const VertexId v : g.Neighbors(7)) expected += g.Degree(v);
@@ -86,9 +87,9 @@ TEST(PeelUpdateTest, AtomicAndSequentialAgree) {
     atomic.live.Kill(u);
   }
   for (const VertexId u : {5u, 9u, 21u}) {
-    PeelUpdate<false>(sequential.live, u, 2, sequential.support,
-                      sequential.scratch, [](VertexId, Count) {});
-    PeelUpdate<true>(atomic.live, u, 2, atomic.support, atomic.scratch,
+    PeelVertex<false>(sequential.live, u, 2, sequential.support,
+                      sequential.ws, [](VertexId, Count) {});
+    PeelVertex<true>(atomic.live, u, 2, atomic.support, atomic.ws,
                      [](VertexId, Count) {});
   }
   EXPECT_EQ(sequential.support, atomic.support);
@@ -103,12 +104,12 @@ TEST(PeelUpdateTest, ConcurrentUpdatesLoseNothing) {
   for (VertexId u = 0; u < 30; ++u) peel_set.push_back(u);
   for (const VertexId u : peel_set) f.live.Kill(u);
 
-  std::vector<UpdateScratch> scratches(4);
-  for (auto& s : scratches) s.Resize(g.num_vertices());
-  ParallelForWithContext(peel_set.size(), 4, scratches,
-                         [&](UpdateScratch& scratch, size_t i) {
-                           PeelUpdate<true>(f.live, peel_set[i], 0,
-                                            f.support, scratch,
+  std::vector<PeelWorkspace> workspaces(4);
+  for (auto& ws : workspaces) ws.EnsureVertexCapacity(g.num_vertices());
+  ParallelForWithContext(peel_set.size(), 4, workspaces,
+                         [&](PeelWorkspace& ws, size_t i) {
+                           PeelVertex<true>(f.live, peel_set[i], 0,
+                                            f.support, ws,
                                             [](VertexId, Count) {});
                          });
 
@@ -118,11 +119,8 @@ TEST(PeelUpdateTest, ConcurrentUpdatesLoseNothing) {
     for (const VertexId dead : peel_set) {
       shared += SharedButterflies(g, u, dead);
     }
-    // Butterflies between two dead vertices were subtracted only once per
-    // survivor relationship; survivors lose exactly their shared counts
-    // with the peeled set... except pairs of dead vertices may share
-    // butterflies *with each other and u*? No: a butterfly has exactly two
-    // U vertices, so each dead partner contributes independently.
+    // A butterfly has exactly two U vertices, so each dead partner
+    // contributes independently to u's loss.
     EXPECT_EQ(f.support[u], original[u] - shared) << "u" << u;
   }
 }
