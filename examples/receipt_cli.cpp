@@ -7,18 +7,27 @@
 //   receipt_cli decompose --input g.konect --algo receipt --side U \
 //                        --threads 8 --partitions 150 --output tips.txt
 //   receipt_cli wing     --dataset it --parallel --partitions 8
+//   receipt_cli serve    --graphs g1=a.konect,g2=b.bin --workers 2 \
+//                        --clients 4 --requests 24 --threads 2
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO failures.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "receipt/receipt_lib.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -76,7 +85,10 @@ int Usage() {
       "            [--side U|V] [--threads T] [--partitions P]\n"
       "            [--no-huc] [--no-dgm] [--output FILE]\n"
       "  wing      --input FILE | --dataset NAME  [--parallel]\n"
-      "            [--threads T] [--partitions P] [--output FILE]\n");
+      "            [--threads T] [--partitions P] [--output FILE]\n"
+      "  serve     --graphs NAME=FILE[,NAME=FILE...] | --datasets it,de,...\n"
+      "            [--workers W] [--clients C] [--requests N] [--threads T]\n"
+      "            [--partitions P] [--cache-mb MB]\n");
   return 1;
 }
 
@@ -98,9 +110,7 @@ bool LoadGraph(const Args& args, BipartiteGraph* graph) {
     return false;
   }
   std::string error;
-  auto loaded = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
-                    ? LoadBinary(path, &error)
-                    : LoadKonect(path, &error);
+  auto loaded = LoadGraphFile(path, &error);
   if (!loaded) {
     std::fprintf(stderr, "failed to load '%s': %s\n", path.c_str(),
                  error.c_str());
@@ -251,6 +261,170 @@ int CmdWing(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+// serve: register graphs in a GraphRegistry and drive a DecompositionService
+// with a mixed tip/wing workload from concurrent clients. Each unique request
+// that reaches the engine prints the same PeelStats block as the one-shot
+// `decompose` / `wing` commands, so per-phase timings and wedge counters are
+// directly comparable between service mode and one-shot runs.
+int CmdServe(const Args& args) {
+  service::GraphRegistry registry;
+  for (const std::string& spec : SplitCommaList(args.Get("graphs"))) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      std::fprintf(stderr, "--graphs entries must be NAME=FILE, got '%s'\n",
+                   spec.c_str());
+      return 1;
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    std::string error;
+    if (!registry.LoadFile(name, path, &error)) {
+      std::fprintf(stderr, "failed to register '%s': %s\n", name.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+  for (const std::string& name : SplitCommaList(args.Get("datasets"))) {
+    bool known = false;
+    for (const std::string& candidate : PaperAnalogueNames()) {
+      known = known || candidate == name;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+      return 1;
+    }
+    registry.Register(name, MakePaperAnalogue(name));
+  }
+  const std::vector<std::string> names = registry.Names();
+  if (names.empty()) {
+    std::fprintf(stderr, "need --graphs NAME=FILE,... or --datasets A,B\n");
+    return 1;
+  }
+  for (const std::string& name : names) {
+    const service::GraphHandle handle = registry.Acquire(name);
+    std::printf("registered %s: |U|=%u |V|=%u |E|=%llu (epoch %llu)\n",
+                name.c_str(), handle.graph().num_u(), handle.graph().num_v(),
+                static_cast<unsigned long long>(handle.graph().num_edges()),
+                static_cast<unsigned long long>(handle.epoch()));
+  }
+
+  service::ServiceOptions service_options;
+  service_options.num_workers = static_cast<int>(args.GetInt("workers", 2));
+  service_options.cache_bytes =
+      static_cast<size_t>(args.GetInt("cache-mb", 64)) << 20;
+  service::DecompositionService service(registry, service_options);
+
+  const int clients = static_cast<int>(args.GetInt("clients", 2));
+  const int total_requests = static_cast<int>(args.GetInt("requests", 12));
+  const int threads = static_cast<int>(args.GetInt("threads", 2));
+  const int partitions = static_cast<int>(args.GetInt("partitions", 8));
+
+  // The request mix: cycle (graph × kind/algorithm) so repeats exercise the
+  // cache and concurrent duplicates exercise coalescing.
+  struct KindAlgo {
+    service::RequestKind kind;
+    service::Algorithm algorithm;
+  };
+  const KindAlgo mix[] = {
+      {service::RequestKind::kTipU, service::Algorithm::kReceipt},
+      {service::RequestKind::kTipV, service::Algorithm::kReceipt},
+      {service::RequestKind::kWing, service::Algorithm::kReceiptWing},
+  };
+  std::vector<service::Request> schedule;
+  for (int i = 0; i < total_requests; ++i) {
+    const KindAlgo& ka = mix[static_cast<size_t>(i) % std::size(mix)];
+    service::Request request;
+    request.graph = names[static_cast<size_t>(i) % names.size()];
+    request.kind = ka.kind;
+    request.algorithm = ka.algorithm;
+    request.partitions = partitions;
+    request.threads = threads;
+    schedule.push_back(std::move(request));
+  }
+
+  std::mutex print_mutex;
+  std::set<std::string> reported;  // unique requests whose stats printed
+  std::atomic<int> failed_requests{0};
+  const WallTimer serve_timer;
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < std::max(1, clients); ++c) {
+    client_threads.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < schedule.size();
+           i += static_cast<size_t>(std::max(1, clients))) {
+        const service::Request& request = schedule[i];
+        const service::Response response = service.Execute(request);
+        std::lock_guard<std::mutex> lock(print_mutex);
+        std::printf("[client %d] %s %s %s -> %s%s%s\n", c,
+                    request.graph.c_str(),
+                    service::RequestKindName(request.kind),
+                    service::AlgorithmName(request.algorithm),
+                    service::StatusName(response.status),
+                    response.cache_hit ? " (cache hit)" : "",
+                    response.coalesced ? " (coalesced)" : "");
+        if (response.status != service::Status::kOk) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       response.error.c_str());
+          ++failed_requests;
+          continue;
+        }
+        const std::string key =
+            request.graph + "/" + service::RequestKindName(request.kind) +
+            "/" + service::AlgorithmName(request.algorithm);
+        if (!response.cache_hit && reported.insert(key).second) {
+          std::printf("%s on %s: max=%llu\n%s\n", key.c_str(),
+                      request.graph.c_str(),
+                      static_cast<unsigned long long>(
+                          response.payload->numbers.empty()
+                              ? 0
+                              : *std::max_element(
+                                    response.payload->numbers.begin(),
+                                    response.payload->numbers.end())),
+                      response.payload->stats.ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double seconds = serve_timer.Seconds();
+  service.Shutdown();
+
+  const service::DecompositionService::Stats stats = service.stats();
+  const service::ResultCache::Stats cache = service.cache_stats();
+  std::printf(
+      "served %llu requests in %.3fs: engine_runs=%llu cache_hits=%llu "
+      "coalesced=%llu batched=%llu cancelled=%llu\n",
+      static_cast<unsigned long long>(stats.submitted), seconds,
+      static_cast<unsigned long long>(stats.engine_runs),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.batched_follow_ons),
+      static_cast<unsigned long long>(stats.cancelled));
+  std::printf("cache: entries=%llu bytes=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(cache.entries),
+              static_cast<unsigned long long>(cache.bytes),
+              static_cast<unsigned long long>(cache.evictions));
+  std::printf("workspace growths (all worker pools): %llu\n",
+              static_cast<unsigned long long>(service.WorkspaceGrowths()));
+  if (failed_requests.load() > 0) {
+    std::fprintf(stderr, "%d request(s) failed\n", failed_requests.load());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,5 +439,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "decompose") return CmdDecompose(args);
   if (command == "wing") return CmdWing(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }

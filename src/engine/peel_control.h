@@ -1,0 +1,48 @@
+#ifndef RECEIPT_ENGINE_PEEL_CONTROL_H_
+#define RECEIPT_ENGINE_PEEL_CONTROL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace receipt::engine {
+
+/// Cooperative cancellation + progress channel between a decomposition run
+/// and whoever is supervising it (the service layer's request scheduler, a
+/// CLI timeout, a test). All members are relaxed atomics: the flags carry no
+/// data dependencies, and the peel loops poll them on their round/iteration
+/// boundaries where a stale read only delays the reaction by one round.
+///
+/// Cancellation is best-effort and monotonic: once requested, every engine
+/// loop (RangeDecomposer rounds, SequentialTipPeel / SequentialWingPeel
+/// iterations) exits at its next check point, leaving partially-assigned
+/// output behind. Callers that observe Cancelled() after a driver returns
+/// must treat the result as incomplete.
+class PeelControl {
+ public:
+  PeelControl() = default;
+  PeelControl(const PeelControl&) = delete;
+  PeelControl& operator=(const PeelControl&) = delete;
+
+  /// Asks the running decomposition to stop at its next check point.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+
+  /// Progress: peel events so far — one per entity assignment in each
+  /// engine phase. Single-step algorithms (BUP, ParB, WingDecompose) report
+  /// each entity exactly once; the two-step ones (RECEIPT, RECEIPT-W)
+  /// report it once in the coarse step and again in the fine step, so a
+  /// completed run totals ≈ 2× the entity count. Consumers deriving a
+  /// completion fraction must use the algorithm-appropriate denominator.
+  void ReportPeeled(uint64_t n) {
+    peeled_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t peeled() const { return peeled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  std::atomic<uint64_t> peeled_{0};
+};
+
+}  // namespace receipt::engine
+
+#endif  // RECEIPT_ENGINE_PEEL_CONTROL_H_

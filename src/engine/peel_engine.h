@@ -9,6 +9,7 @@
 
 #include "engine/counting.h"
 #include "engine/graph_maintenance.h"
+#include "engine/peel_control.h"
 #include "engine/peel_kernels.h"
 #include "engine/range_result.h"
 #include "engine/workspace.h"
@@ -144,15 +145,20 @@ class RangeDecomposer {
   /// count for vertices, mark + scan cost for edges) driving both range
   /// determination and — for vertices — the HUC cost model.
   /// `maintenance` may be nullptr (coarse wing); it must outlive Run().
+  /// `control` (optional) is polled between rounds: on cancellation Run
+  /// returns the ranges peeled so far, and every completed round reports
+  /// its peel count as progress.
   RangeDecomposer(PeelGraph& peel_graph, std::span<const Count> static_cost,
                   uint32_t max_partitions, int num_threads,
-                  WorkspacePool& pool, GraphMaintenance* maintenance)
+                  WorkspacePool& pool, GraphMaintenance* maintenance,
+                  PeelControl* control = nullptr)
       : pg_(&peel_graph),
         static_cost_(static_cost),
         max_partitions_(std::max(1u, max_partitions)),
         num_threads_(num_threads),
         pool_(&pool),
-        maintenance_(maintenance) {}
+        maintenance_(maintenance),
+        control_(control) {}
 
   /// Peels every entity, producing subsets with non-overlapping peel-number
   /// ranges. Contributes wedges_cd, sync_rounds, peel_iterations,
@@ -179,11 +185,13 @@ class RangeDecomposer {
     std::vector<uint32_t> stamps(n, 0);
     uint32_t round_stamp = 0;
     std::vector<std::pair<Count, Count>> range_scratch;
+    std::vector<size_t> filter_offsets;  // ParallelFilterInto scratch
     std::vector<Id> active;
     std::vector<Id> candidates;
 
     uint64_t alive_count = n;
     while (alive_count > 0) {
+      if (control_ != nullptr && control_->Cancelled()) break;
       const uint32_t subset_index =
           static_cast<uint32_t>(result.subsets.size());
       const Count lo = result.bounds.back();
@@ -198,25 +206,32 @@ class RangeDecomposer {
 
       // Upper bound of this range (Alg. 3 line 8). Once the user-specified
       // P is exhausted, the final subset takes everything left (§3.1.1).
+      // The O(n) alive scan is parallel and order-preserving — for the wing
+      // instantiation n = m, and one scan runs per subset.
       Count hi = kInvalidCount;
       if (subset_index < max_partitions_) {
-        range_scratch.clear();
-        for (Id e = 0; e < static_cast<Id>(n); ++e) {
-          if (pg_->IsAlive(e)) {
-            range_scratch.emplace_back(pg_->Support(e), static_cost_[e]);
-          }
-        }
+        ParallelFilterInto(
+            n, num_threads_, range_scratch,
+            [&](size_t e) { return pg_->IsAlive(static_cast<Id>(e)); },
+            [&](size_t e) {
+              return std::pair<Count, Count>(pg_->Support(static_cast<Id>(e)),
+                                             static_cost_[e]);
+            },
+            &filter_offsets);
         hi = FindRangeBound(range_scratch, std::max(1.0, target));
       }
 
       result.subsets.emplace_back();
       std::vector<Id>& subset = result.subsets.back();
 
-      // First active set of the range: full scan (Alg. 3 line 9).
-      active.clear();
-      for (Id e = 0; e < static_cast<Id>(n); ++e) {
-        if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
-      }
+      // First active set of the range: full scan (Alg. 3 line 9), parallel.
+      const auto in_range = [&](size_t e) {
+        return pg_->IsAlive(static_cast<Id>(e)) &&
+               pg_->Support(static_cast<Id>(e)) < hi;
+      };
+      const auto as_id = [](size_t e) { return static_cast<Id>(e); };
+      ParallelFilterInto(n, num_threads_, active, in_range, as_id,
+                         &filter_offsets);
 
       while (!active.empty()) {
         ++stats->sync_rounds;
@@ -283,15 +298,18 @@ class RangeDecomposer {
         }
 
         pg_->EndRound(active);
+        if (control_ != nullptr) {
+          control_->ReportPeeled(active.size());
+          if (control_->Cancelled()) break;
+        }
 
         // Next active set (Alg. 3 line 14): tracked candidates, or a full
         // scan right after a re-count invalidated the tracking.
-        active.clear();
         if (need_full_scan) {
-          for (Id e = 0; e < static_cast<Id>(n); ++e) {
-            if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
-          }
+          ParallelFilterInto(n, num_threads_, active, in_range, as_id,
+                             &filter_offsets);
         } else {
+          active.clear();
           for (const Id e : candidates) {
             if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
           }
@@ -327,6 +345,7 @@ class RangeDecomposer {
   int num_threads_;
   WorkspacePool* pool_;
   GraphMaintenance* maintenance_;
+  PeelControl* control_;
 };
 
 // ===========================================================================
@@ -345,6 +364,8 @@ struct SequentialPeelConfig {
   /// the extractor through the final — traversal-free by then — update
   /// (BUP keeps the seed semantics of counting those wedges).
   bool stop_when_peeled = false;
+  /// Optional cancellation/progress hook, polled once per peeled entity.
+  PeelControl* control = nullptr;
 };
 
 /// Counters reported by a sequential peel; the caller maps them onto the
@@ -401,9 +422,11 @@ SequentialPeelOutcome SequentialTipPeel(const BipartiteGraph& graph,
   VertexId alive_count = num_peel;
   Count theta = config.floor0;
   while (auto entry = extractor.PopMin(support)) {
+    if (config.control != nullptr && config.control->Cancelled()) break;
     const auto [key, u] = *entry;
     theta = std::max(theta, key);
     assign(u, theta);
+    if (config.control != nullptr) config.control->ReportPeeled(1);
     live.Kill(u);
     ++out.iterations;
     --alive_count;
@@ -448,7 +471,7 @@ struct WingPeelOutcome {
 /// `updatable(x)` filters both extraction and updates (environment edges of
 /// higher subsets are enumerated but never updated); `assign(e, θ)` fires
 /// once per peeled edge. `remaining` = number of peelable edges (0 = peel
-/// until the heap runs dry).
+/// until the heap runs dry). `control` (optional) is polled per iteration.
 template <typename Updatable, typename OnAssign>
 WingPeelOutcome SequentialWingPeel(const BipartiteGraph& graph,
                                    const EdgeTopology& topo,
@@ -456,8 +479,8 @@ WingPeelOutcome SequentialWingPeel(const BipartiteGraph& graph,
                                    std::span<Count> support,
                                    LazyMinHeap<4>& heap, uint64_t remaining,
                                    Count floor0, PeelWorkspace& ws,
-                                   Updatable&& updatable,
-                                   OnAssign&& assign) {
+                                   Updatable&& updatable, OnAssign&& assign,
+                                   PeelControl* control = nullptr) {
   WingPeelOutcome out;
   ws.EnsureMarkCapacity(graph.num_v());
   Count theta = floor0;
@@ -465,10 +488,12 @@ WingPeelOutcome SequentialWingPeel(const BipartiteGraph& graph,
     return state[k] == kEdgeAlive && updatable(static_cast<EdgeOffset>(k));
   };
   while (auto entry = heap.PopValid(support, peelable)) {
+    if (control != nullptr && control->Cancelled()) break;
     const auto [key, k32] = *entry;
     const EdgeOffset k = k32;
     theta = std::max(theta, key);
     assign(k, theta);
+    if (control != nullptr) control->ReportPeeled(1);
     state[k] = kEdgePeeling;  // sole peeling edge: priority rule is trivial
     ++out.iterations;
     out.wedges += PeelEdgeButterflies(

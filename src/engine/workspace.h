@@ -106,6 +106,14 @@ class WorkspacePool {
   std::vector<PeelWorkspace> workspaces_;
 };
 
+/// Pool resolution shared by every decomposition driver: run on the
+/// caller-owned pool when one is supplied (service workers reusing scratch
+/// across requests), otherwise on the driver's own local pool.
+inline WorkspacePool& ResolvePool(WorkspacePool* caller_owned,
+                                  WorkspacePool& local) {
+  return caller_owned != nullptr ? *caller_owned : local;
+}
+
 }  // namespace receipt::engine
 
 #endif  // RECEIPT_ENGINE_WORKSPACE_H_

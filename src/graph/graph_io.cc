@@ -25,6 +25,10 @@ std::optional<BipartiteGraph> LoadKonect(const std::string& path,
     SetError(error, "cannot open file: " + path);
     return std::nullopt;
   }
+  if (in.peek() == std::ifstream::traits_type::eof()) {
+    SetError(error, "empty file: " + path);
+    return std::nullopt;
+  }
   std::vector<BipartiteGraph::Edge> edges;
   VertexId max_u = 0;
   VertexId max_v = 0;
@@ -73,6 +77,10 @@ std::optional<BipartiteGraph> LoadBinary(const std::string& path,
     SetError(error, "cannot open file: " + path);
     return std::nullopt;
   }
+  if (in.peek() == std::ifstream::traits_type::eof()) {
+    SetError(error, "empty file: " + path);
+    return std::nullopt;
+  }
   uint64_t magic = 0;
   uint64_t num_u = 0;
   uint64_t num_v = 0;
@@ -101,6 +109,13 @@ std::optional<BipartiteGraph> LoadBinary(const std::string& path,
   return BipartiteGraph::FromEdges(static_cast<VertexId>(num_u),
                                    static_cast<VertexId>(num_v),
                                    std::move(edges));
+}
+
+std::optional<BipartiteGraph> LoadGraphFile(const std::string& path,
+                                            std::string* error) {
+  const bool binary =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  return binary ? LoadBinary(path, error) : LoadKonect(path, error);
 }
 
 bool SaveBinary(const BipartiteGraph& graph, const std::string& path) {

@@ -12,7 +12,8 @@ namespace receipt {
 /// 1-indexed ids, lines starting with '%' or '#' skipped. Vertex counts are
 /// inferred from the maximum ids. Returns std::nullopt (and sets *error when
 /// provided) on malformed input: non-numeric tokens, ids below 1, missing
-/// second column.
+/// second column, or a zero-length file (a comments-only file still loads,
+/// as the empty graph).
 ///
 /// This is the format of the six datasets in Table 2 (KOBLENZ collection);
 /// drop a real KONECT "out.*" file here to run the benchmarks on it.
@@ -30,6 +31,13 @@ std::optional<BipartiteGraph> LoadBinary(const std::string& path,
 
 /// Writes the binary snapshot format accepted by LoadBinary.
 bool SaveBinary(const BipartiteGraph& graph, const std::string& path);
+
+/// Loads a graph file, dispatching on the extension: `.bin` snapshots go
+/// through LoadBinary, everything else through LoadKonect. The single place
+/// that owns the suffix rule — the CLI and the service registry both route
+/// through it.
+std::optional<BipartiteGraph> LoadGraphFile(const std::string& path,
+                                            std::string* error = nullptr);
 
 }  // namespace receipt
 

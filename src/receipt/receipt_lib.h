@@ -12,6 +12,10 @@
 ///   ExtractKTips        k-tip hierarchy retrieval from tip numbers
 ///   WingDecompose       wing (edge) decomposition extension (§7)
 ///   ReceiptWingDecompose  parallel two-step wing decomposition (RECEIPT-W)
+///   GraphRegistry / DecompositionService / ResultCache
+///                       the serving layer: resident multi-graph registry,
+///                       batched+coalesced request execution over pooled
+///                       workspaces, LRU result caching
 
 #include "butterfly/approx_count.h"
 #include "butterfly/butterfly_count.h"
@@ -21,6 +25,10 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/induced_subgraph.h"
+#include "service/decomposition_service.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
+#include "service/service_types.h"
 #include "tip/bup.h"
 #include "tip/parb.h"
 #include "tip/receipt.h"

@@ -1,0 +1,389 @@
+#include "service/decomposition_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tip/bup.h"
+#include "tip/parb.h"
+#include "tip/receipt.h"
+#include "tip/tip_common.h"
+#include "wing/receipt_wing.h"
+#include "wing/wing_decomposition.h"
+
+namespace receipt::service {
+
+namespace {
+
+ServiceOptions NormalizeOptions(ServiceOptions options) {
+  // A zero-capacity queue can never admit work: Submit would block forever
+  // and zero-worker Execute would spin.
+  options.queue_capacity = std::max<size_t>(1, options.queue_capacity);
+  options.max_batch = std::max<size_t>(1, options.max_batch);
+  return options;
+}
+
+}  // namespace
+
+DecompositionService::DecompositionService(GraphRegistry& registry,
+                                           const ServiceOptions& options)
+    : registry_(&registry),
+      options_(NormalizeOptions(options)),
+      cache_(options.cache_bytes) {
+  const int num_workers = std::max(0, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* worker = workers_.back().get();
+    worker->thread = std::thread([this, worker] { WorkerMain(*worker); });
+  }
+}
+
+DecompositionService::~DecompositionService() { Shutdown(/*drain=*/true); }
+
+std::shared_future<Response> DecompositionService::ReadyResponse(
+    Response response) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future().share();
+}
+
+std::shared_future<Response> DecompositionService::Submit(
+    const Request& request) {
+  return SubmitImpl(request, /*may_block=*/true, /*would_block=*/nullptr);
+}
+
+std::optional<std::shared_future<Response>> DecompositionService::TrySubmit(
+    const Request& request) {
+  bool would_block = false;
+  auto future = SubmitImpl(request, /*may_block=*/false, &would_block);
+  if (would_block) return std::nullopt;
+  return future;
+}
+
+Response DecompositionService::Execute(const Request& request) {
+  // Without background workers only this thread can drain the queue, so a
+  // blocking Submit against a full queue would deadlock. Use the
+  // non-blocking submit and drain between attempts instead.
+  if (options_.num_workers <= 0) {
+    for (;;) {
+      if (auto future = TrySubmit(request)) {
+        RunQueuedInline();
+        return future->get();
+      }
+      RunQueuedInline();  // queue full: make room, then retry
+    }
+  }
+  return Submit(request).get();
+}
+
+std::shared_future<Response> DecompositionService::SubmitImpl(
+    const Request& request, bool may_block, bool* would_block) {
+  Response rejection;
+  if ((request.kind == RequestKind::kWing) !=
+      IsWingAlgorithm(request.algorithm)) {
+    rejection.status = Status::kBadRequest;
+    rejection.error = std::string("algorithm ") +
+                      AlgorithmName(request.algorithm) +
+                      " cannot serve a " + RequestKindName(request.kind) +
+                      " request";
+    return ReadyResponse(std::move(rejection));
+  }
+
+  GraphHandle handle = registry_->Acquire(request.graph);
+  if (!handle) {
+    rejection.status = Status::kNotFound;
+    rejection.error = "graph '" + request.graph + "' is not registered";
+    return ReadyResponse(std::move(rejection));
+  }
+
+  Request normalized = request;
+  normalized.threads = std::max(1, request.threads);
+  normalized.partitions = std::max(1, request.partitions);
+  // The baselines never read `partitions`; normalize it out of the key so
+  // equivalent requests coalesce and hit the cache regardless of the value.
+  if (normalized.algorithm == Algorithm::kBup ||
+      normalized.algorithm == Algorithm::kParb ||
+      normalized.algorithm == Algorithm::kWingBup) {
+    normalized.partitions = 1;
+  }
+  const CacheKey cache_key{handle.epoch(), normalized.kind,
+                           normalized.algorithm,
+                           static_cast<uint32_t>(normalized.partitions)};
+
+  // Fast path: an identical (epoch, params) result is already resident.
+  if (auto hit = cache_.Get(cache_key)) {
+    Response response;
+    response.payload = std::move(hit);
+    response.cache_hit = true;
+    response.graph_epoch = cache_key.epoch;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    ++stats_.cache_hits;
+    return ReadyResponse(std::move(response));
+  }
+
+  const CoalesceKey coalesce_key{cache_key, normalized.threads};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) {
+      rejection.status = Status::kShutdown;
+      rejection.error = "service is shutting down";
+      return ReadyResponse(std::move(rejection));
+    }
+    // Coalesce with an identical queued or executing request: both callers
+    // share one engine run (and one future).
+    if (const auto it = inflight_.find(coalesce_key); it != inflight_.end()) {
+      if (auto twin = it->second.lock()) {
+        ++twin->extra_submitters;
+        ++stats_.submitted;
+        ++stats_.coalesced;
+        return twin->future;
+      }
+      inflight_.erase(it);
+    }
+    if (queue_.size() < options_.queue_capacity) break;
+    if (!may_block) {
+      *would_block = true;
+      return {};
+    }
+    queue_not_full_.wait(lock);
+  }
+
+  auto task = std::make_shared<Task>();
+  task->request = std::move(normalized);
+  task->handle = std::move(handle);
+  task->cache_key = cache_key;
+  task->coalesce_key = coalesce_key;
+  task->future = task->promise.get_future().share();
+  queue_.push_back(task);
+  inflight_[coalesce_key] = task;
+  ++stats_.submitted;
+  queue_not_empty_.notify_one();
+  return task->future;
+}
+
+std::vector<std::shared_ptr<DecompositionService::Task>>
+DecompositionService::PopBatchLocked() {
+  std::vector<std::shared_ptr<Task>> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Batch same-graph follow-ons: they run on scratch already warm for this
+  // exact graph shape, and skip a queue round-trip each. Never take work an
+  // idle worker could start right now — batching trades queue overhead for
+  // warmth, not parallelism.
+  const uint64_t epoch = batch.front()->handle.epoch();
+  for (auto it = queue_.begin();
+       it != queue_.end() && queue_.size() > waiting_workers_ &&
+       batch.size() < options_.max_batch;) {
+    if ((*it)->handle.epoch() == epoch) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+      ++stats_.batched_follow_ons;
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void DecompositionService::WorkerMain(Worker& worker) {
+  for (;;) {
+    std::vector<std::shared_ptr<Task>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++waiting_workers_;
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      --waiting_workers_;
+      if (queue_.empty()) return;  // stopping and drained
+      batch = PopBatchLocked();
+      queue_not_full_.notify_all();
+    }
+    for (const auto& task : batch) ExecuteTask(task, worker.pool);
+  }
+}
+
+size_t DecompositionService::RunQueuedInline() {
+  // Serialize inline drains: concurrent callers (e.g. several Execute()s on
+  // a zero-worker service) must not share inline_pool_'s workspaces.
+  std::lock_guard<std::mutex> inline_lock(inline_mu_);
+  size_t executed = 0;
+  for (;;) {
+    std::vector<std::shared_ptr<Task>> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      batch = PopBatchLocked();
+      queue_not_full_.notify_all();
+    }
+    for (const auto& task : batch) {
+      ExecuteTask(task, inline_pool_);
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+void DecompositionService::ExecuteTask(const std::shared_ptr<Task>& task,
+                                       engine::WorkspacePool& pool) {
+  Response response;
+  response.graph_epoch = task->cache_key.epoch;
+  // Double-checked cache: an identical request may have completed between
+  // this task's submit-time miss and now.
+  if (auto hit = cache_.Get(task->cache_key)) {
+    response.payload = std::move(hit);
+    response.cache_hit = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_hits;
+  } else if (task->control.Cancelled()) {
+    response.status = Status::kCancelled;
+    response.error = "cancelled before execution";
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.engine_runs;
+    }
+    response = RunEngine(*task, pool);
+    if (response.status == Status::kOk) {
+      cache_.Put(task->cache_key, response.payload);
+    }
+  }
+  FinishTask(task, std::move(response));
+}
+
+Response DecompositionService::RunEngine(Task& task,
+                                         engine::WorkspacePool& pool) {
+  Response response;
+  response.graph_epoch = task.cache_key.epoch;
+  const BipartiteGraph& graph = task.handle.graph();
+  const int threads = task.request.threads;
+
+  // Pre-size this worker's scratch to the largest resident graph, not just
+  // the request's: whatever graph the next batch targets, the buffers are
+  // already big enough — steady-state serving never allocates.
+  const GraphRegistry::Shape shape = registry_->MaxShape();
+  pool.Prepare(threads,
+               std::max(shape.max_vertices, graph.num_vertices()),
+               std::max(shape.max_v, graph.num_v()));
+
+  auto payload = std::make_shared<Payload>();
+  switch (task.request.algorithm) {
+    case Algorithm::kBup:
+    case Algorithm::kParb:
+    case Algorithm::kReceipt: {
+      TipOptions options;
+      options.side =
+          task.request.kind == RequestKind::kTipV ? Side::kV : Side::kU;
+      options.num_threads = threads;
+      options.num_partitions = task.request.partitions;
+      options.workspace_pool = &pool;
+      options.control = &task.control;
+      TipResult result =
+          task.request.algorithm == Algorithm::kBup ? BupDecompose(graph, options)
+          : task.request.algorithm == Algorithm::kParb
+              ? ParbDecompose(graph, options)
+              : ReceiptDecompose(graph, options);
+      payload->numbers = std::move(result.tip_numbers);
+      payload->stats = result.stats;
+      break;
+    }
+    case Algorithm::kWingBup: {
+      WingResult result =
+          WingDecompose(graph, threads, &pool, &task.control);
+      payload->numbers = std::move(result.wing_numbers);
+      payload->stats = result.stats;
+      break;
+    }
+    case Algorithm::kReceiptWing: {
+      ReceiptWingOptions options;
+      options.num_threads = threads;
+      options.num_partitions = task.request.partitions;
+      options.workspace_pool = &pool;
+      options.control = &task.control;
+      WingResult result = ReceiptWingDecompose(graph, options);
+      payload->numbers = std::move(result.wing_numbers);
+      payload->stats = result.stats;
+      break;
+    }
+  }
+
+  if (task.control.Cancelled()) {
+    response.status = Status::kCancelled;
+    response.error = "cancelled mid-run";
+  } else {
+    response.payload = std::move(payload);
+  }
+  return response;
+}
+
+void DecompositionService::FinishTask(const std::shared_ptr<Task>& task,
+                                      Response response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response.coalesced = task->extra_submitters > 0;
+    ++stats_.completed;
+    if (response.status == Status::kCancelled) ++stats_.cancelled;
+    const auto it = inflight_.find(task->coalesce_key);
+    if (it != inflight_.end()) {
+      const auto current = it->second.lock();
+      if (current == nullptr || current == task) inflight_.erase(it);
+    }
+  }
+  task->promise.set_value(std::move(response));
+}
+
+void DecompositionService::Shutdown(bool drain) {
+  std::vector<std::shared_ptr<Task>> dropped;
+  bool join_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!drain) {
+      dropped.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+      // Ask executing tasks (still tracked in inflight_) to stop at their
+      // next engine check point.
+      for (const auto& [key, weak] : inflight_) {
+        if (auto task = weak.lock()) task->control.RequestCancel();
+      }
+    }
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+    queue_not_empty_.notify_all();
+    queue_not_full_.notify_all();
+  }
+  for (const auto& task : dropped) {
+    Response response;
+    response.status = Status::kCancelled;
+    response.error = "dropped by shutdown";
+    response.graph_epoch = task->cache_key.epoch;
+    FinishTask(task, std::move(response));
+  }
+  // No background workers: drain what remains here so every outstanding
+  // future still resolves.
+  if (drain && workers_.empty()) RunQueuedInline();
+  if (join_here) {
+    for (const auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+}
+
+DecompositionService::Stats DecompositionService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ResultCache::Stats DecompositionService::cache_stats() const {
+  return cache_.stats();
+}
+
+uint64_t DecompositionService::WorkspaceGrowths() const {
+  uint64_t total = inline_pool_.TotalGrowths();
+  for (const auto& worker : workers_) total += worker->pool.TotalGrowths();
+  return total;
+}
+
+}  // namespace receipt::service

@@ -1,0 +1,181 @@
+#ifndef RECEIPT_SERVICE_DECOMPOSITION_SERVICE_H_
+#define RECEIPT_SERVICE_DECOMPOSITION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/peel_control.h"
+#include "engine/workspace.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
+#include "service/service_types.h"
+
+namespace receipt::service {
+
+/// Tuning knobs for DecompositionService.
+struct ServiceOptions {
+  /// Background worker threads executing requests. 0 starts none — queued
+  /// work then runs only through RunQueuedInline(), which tests use for
+  /// deterministic scheduling.
+  int num_workers = 2;
+
+  /// Bounded request queue: Submit blocks (backpressure) and TrySubmit
+  /// fails once this many requests are waiting.
+  size_t queue_capacity = 256;
+
+  /// ResultCache byte budget; 0 disables caching.
+  size_t cache_bytes = size_t{64} << 20;
+
+  /// Max requests one worker executes back-to-back per queue pop. Batching
+  /// groups queued requests targeting the same graph epoch so they run on
+  /// scratch that is already warm for exactly that graph shape.
+  size_t max_batch = 8;
+};
+
+/// The decomposition serving layer: turns the one-shot drivers into a
+/// queryable capability over many resident graphs (the Polynesia-style
+/// split of request handling from the update/compute engine).
+///
+///   GraphRegistry  — which graphs are resident (epoched, ref-counted)
+///   this class     — bounded queue, worker pool, coalescing, batching
+///   ResultCache    — (epoch, params) → payload, LRU byte budget
+///
+/// Execution path per request: resolve the graph to a handle at submit
+/// time (eviction after that point is safe — the handle pins the graph),
+/// coalesce with any identical in-flight request, serve from cache when the
+/// (epoch, params) key hits, otherwise run the requested driver on the
+/// worker's own WorkspacePool with a PeelControl wired through the engine's
+/// peel loops. Worker pools persist across requests and are pre-sized to
+/// the largest resident graph, so steady-state serving is allocation-free —
+/// the workspace-reuse invariant of one decomposition, extended to the
+/// whole request stream.
+class DecompositionService {
+ public:
+  explicit DecompositionService(GraphRegistry& registry,
+                                const ServiceOptions& options = {});
+  ~DecompositionService();
+  DecompositionService(const DecompositionService&) = delete;
+  DecompositionService& operator=(const DecompositionService&) = delete;
+
+  /// Enqueues a request. Returns immediately with a ready future on cache
+  /// hit, unknown graph, invalid request, or shutdown; joins the future of
+  /// an identical in-flight request (coalescing); otherwise blocks while
+  /// the queue is full.
+  std::shared_future<Response> Submit(const Request& request);
+
+  /// Like Submit but never blocks: returns std::nullopt when the queue is
+  /// full.
+  std::optional<std::shared_future<Response>> TrySubmit(
+      const Request& request);
+
+  /// Submit + wait.
+  Response Execute(const Request& request);
+
+  /// Drains the current queue on the calling thread (using a dedicated
+  /// inline workspace pool) and returns the number of requests executed.
+  /// With num_workers == 0 this is the only execution path, which makes
+  /// scheduling — and therefore batching/coalescing behaviour — fully
+  /// deterministic for tests.
+  size_t RunQueuedInline();
+
+  /// Stops the service. drain=true finishes all queued work first;
+  /// drain=false drops queued requests (their futures resolve to
+  /// kCancelled) and cancels executing ones through their PeelControl.
+  /// Idempotent; the destructor calls Shutdown(true).
+  void Shutdown(bool drain = true);
+
+  struct Stats {
+    uint64_t submitted = 0;    ///< Submit/TrySubmit calls accepted
+    uint64_t completed = 0;    ///< tasks whose future was fulfilled
+    uint64_t cache_hits = 0;   ///< responses served from ResultCache
+    uint64_t coalesced = 0;    ///< submits joined to an in-flight twin
+    uint64_t engine_runs = 0;  ///< actual decomposition executions
+    uint64_t batched_follow_ons = 0;  ///< extra same-graph pops per batch
+    uint64_t cancelled = 0;    ///< tasks resolved as kCancelled
+  };
+  Stats stats() const;
+  ResultCache::Stats cache_stats() const;
+
+  /// Sum of buffer-growth events across all service-owned workspace pools.
+  /// Flat across a steady-state workload = the hot path is allocation-free.
+  /// Only meaningful while no request is executing.
+  uint64_t WorkspaceGrowths() const;
+
+  GraphRegistry& registry() { return *registry_; }
+
+ private:
+  /// Coalescing identity: the cache key plus the thread count (a request
+  /// explicitly asking for different parallelism is not folded into a
+  /// slower in-flight run).
+  struct CoalesceKey {
+    CacheKey key;
+    int threads = 0;
+    friend bool operator==(const CoalesceKey&, const CoalesceKey&) = default;
+  };
+  struct CoalesceKeyHash {
+    size_t operator()(const CoalesceKey& k) const {
+      return CacheKeyHash{}(k.key) * 31 + static_cast<size_t>(k.threads);
+    }
+  };
+
+  struct Task {
+    Request request;
+    GraphHandle handle;  ///< pins the graph for the task's whole lifetime
+    CacheKey cache_key;
+    CoalesceKey coalesce_key;
+    engine::PeelControl control;
+    std::promise<Response> promise;
+    std::shared_future<Response> future;
+    uint64_t extra_submitters = 0;  ///< guarded by the service mutex
+  };
+
+  struct Worker {
+    std::thread thread;
+    engine::WorkspacePool pool;
+  };
+
+  static std::shared_future<Response> ReadyResponse(Response response);
+
+  std::shared_future<Response> SubmitImpl(const Request& request,
+                                          bool may_block, bool* would_block);
+  void WorkerMain(Worker& worker);
+  /// Pops the front task plus up to max_batch-1 queued tasks on the same
+  /// graph epoch. Caller holds the mutex and guarantees a non-empty queue.
+  std::vector<std::shared_ptr<Task>> PopBatchLocked();
+  void ExecuteTask(const std::shared_ptr<Task>& task,
+                   engine::WorkspacePool& pool);
+  Response RunEngine(Task& task, engine::WorkspacePool& pool);
+  void FinishTask(const std::shared_ptr<Task>& task, Response response);
+
+  GraphRegistry* registry_;
+  const ServiceOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::unordered_map<CoalesceKey, std::weak_ptr<Task>, CoalesceKeyHash>
+      inflight_;
+  size_t waiting_workers_ = 0;  ///< workers blocked on queue_not_empty_
+  bool stopping_ = false;
+  bool joined_ = false;
+  Stats stats_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex inline_mu_;               ///< serializes RunQueuedInline
+  engine::WorkspacePool inline_pool_;  ///< RunQueuedInline scratch
+};
+
+}  // namespace receipt::service
+
+#endif  // RECEIPT_SERVICE_DECOMPOSITION_SERVICE_H_

@@ -1,0 +1,69 @@
+#include "service/graph_registry.h"
+
+#include <algorithm>
+
+#include "graph/graph_io.h"
+
+namespace receipt::service {
+
+uint64_t GraphRegistry::Register(const std::string& name,
+                                 BipartiteGraph graph) {
+  auto entry = std::make_shared<RegisteredGraph>();
+  entry->name = name;
+  entry->graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->epoch = next_epoch_++;
+  const uint64_t epoch = entry->epoch;
+  graphs_[name] = std::move(entry);
+  return epoch;
+}
+
+bool GraphRegistry::LoadFile(const std::string& name, const std::string& path,
+                             std::string* error) {
+  std::string load_error;
+  auto loaded = LoadGraphFile(path, &load_error);
+  if (!loaded.has_value()) {
+    if (error != nullptr) *error = path + ": " + load_error;
+    return false;
+  }
+  Register(name, std::move(*loaded));
+  return true;
+}
+
+bool GraphRegistry::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.erase(name) > 0;
+}
+
+GraphHandle GraphRegistry::Acquire(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) return GraphHandle();
+  return GraphHandle(it->second);
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) names.push_back(name);
+  return names;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+GraphRegistry::Shape GraphRegistry::MaxShape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Shape shape;
+  for (const auto& [name, entry] : graphs_) {
+    shape.max_vertices =
+        std::max(shape.max_vertices, entry->graph.num_vertices());
+    shape.max_v = std::max(shape.max_v, entry->graph.num_v());
+  }
+  return shape;
+}
+
+}  // namespace receipt::service

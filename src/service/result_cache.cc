@@ -1,0 +1,57 @@
+#include "service/result_cache.h"
+
+namespace receipt::service {
+
+std::shared_ptr<const Payload> ResultCache::Get(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void ResultCache::Put(const CacheKey& key,
+                      std::shared_ptr<const Payload> payload) {
+  if (budget_ == 0 || payload == nullptr) return;
+  // A payload that could never fit would evict every resident entry before
+  // being evicted itself; refuse it instead of flushing the cache.
+  if (payload->ApproxBytes() > budget_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->second->ApproxBytes();
+    bytes_ += payload->ApproxBytes();
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += payload->ApproxBytes();
+    lru_.emplace_front(key, std::move(payload));
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+  }
+  EvictOverBudgetLocked();
+}
+
+void ResultCache::EvictOverBudgetLocked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const auto& [key, payload] = lru_.back();
+    bytes_ -= payload->ApproxBytes();
+    index_.erase(key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.bytes = bytes_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+}  // namespace receipt::service

@@ -22,7 +22,9 @@ TipResult BupDecompose(const BipartiteGraph& graph,
   result.tip_numbers.assign(g.num_u(), 0);
 
   DynamicGraph live(g, g.DegreeDescendingRanks());
-  engine::WorkspacePool pool;
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
   pool.Prepare(std::max(1, options.num_threads), g.num_vertices());
 
   // Initial support via pvBcnt (Alg. 2 line 1).
@@ -34,6 +36,7 @@ TipResult BupDecompose(const BipartiteGraph& graph,
 
   engine::SequentialPeelConfig config;
   config.min_extraction = options.min_extraction;
+  config.control = options.control;
   const engine::SequentialPeelOutcome outcome = engine::SequentialTipPeel(
       g, live, std::span<Count>(support), g.num_u(), config, pool.Get(0),
       [&result](VertexId u, Count theta) { result.tip_numbers[u] = theta; });

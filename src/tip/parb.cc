@@ -26,7 +26,9 @@ TipResult ParbDecompose(const BipartiteGraph& graph,
   result.tip_numbers.assign(g.num_u(), 0);
 
   DynamicGraph live(g, g.DegreeDescendingRanks());
-  engine::WorkspacePool pool;
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
   pool.Prepare(std::max(1, num_threads), g.num_vertices());
 
   WallTimer count_timer;
@@ -40,6 +42,7 @@ TipResult ParbDecompose(const BipartiteGraph& graph,
   BucketQueue queue(support, all_u, /*window=*/128);
 
   while (auto round = queue.PopMin()) {
+    if (options.control != nullptr && options.control->Cancelled()) break;
     const auto& [theta, peel_set] = *round;
     ++result.stats.sync_rounds;
     ++result.stats.peel_iterations;
@@ -49,6 +52,9 @@ TipResult ParbDecompose(const BipartiteGraph& graph,
     for (const VertexId u : peel_set) {
       result.tip_numbers[u] = theta;
       live.Kill(u);
+    }
+    if (options.control != nullptr) {
+      options.control->ReportPeeled(peel_set.size());
     }
 
     result.stats.wedges_other += engine::ParallelPeelRound(

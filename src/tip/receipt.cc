@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "engine/peel_control.h"
 #include "engine/workspace.h"
 #include "tip/receipt_cd.h"
 #include "tip/receipt_fd.h"
@@ -20,10 +21,16 @@ TipResult ReceiptDecompose(const BipartiteGraph& graph,
   result.tip_numbers.assign(g.num_u(), 0);
 
   // One workspace pool for the whole decomposition: counting, every CD
-  // round and every FD partition reuse the same per-thread scratch.
-  engine::WorkspacePool pool;
+  // round and every FD partition reuse the same per-thread scratch. A
+  // caller-owned pool (the service layer's per-worker pool) extends that
+  // reuse across requests.
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
   CdResult cd = ReceiptCd(g, options, pool, &result.stats);
-  ReceiptFd(g, cd, options, pool, result.tip_numbers, &result.stats);
+  if (options.control == nullptr || !options.control->Cancelled()) {
+    ReceiptFd(g, cd, options, pool, result.tip_numbers, &result.stats);
+  }
 
   result.range_bounds = std::move(cd.bounds);
   result.subset_of = std::move(cd.subset_of);

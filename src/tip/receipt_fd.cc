@@ -42,6 +42,7 @@ void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
   config.use_dgm = options.use_dgm;
   config.floor0 = cd.bounds[sid];  // tip numbers of this subset start here
   config.stop_when_peeled = true;
+  config.control = options.control;
   const engine::SequentialPeelOutcome outcome = engine::SequentialTipPeel(
       sg, live, std::span<Count>(ws.support_buffer.data(), sg.num_vertices()),
       num_local, config, ws, [&](VertexId lu, Count theta) {
@@ -116,6 +117,7 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
     PeelStats& local = local_stats[static_cast<size_t>(tid)];
     engine::PeelWorkspace& ws = pool.Get(tid);
     while (true) {
+      if (options.control != nullptr && options.control->Cancelled()) break;
       const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
       if (k >= num_subsets) break;
       PeelSubset(graph, cd, order[k], options, ws, tip_numbers, &local);

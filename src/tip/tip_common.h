@@ -9,6 +9,11 @@
 
 namespace receipt {
 
+namespace engine {
+class PeelControl;
+class WorkspacePool;
+}  // namespace engine
+
 /// Minimum-support extraction backends for sequential bottom-up peeling
 /// (§5.1: "we use a k-way min-heap … we found it to be faster in practice
 /// than the bucketing structure of [51] or fibonacci heaps").
@@ -47,6 +52,18 @@ struct TipOptions {
   /// BUP and RECEIPT FD: the min-support extraction structure (§5.1
   /// implementation ablation; see bench_ablation_extraction).
   MinExtraction min_extraction = MinExtraction::kDAryHeap;
+
+  /// Caller-owned per-thread scratch. When set, the decomposition runs on
+  /// these workspaces instead of allocating its own pool — the service layer
+  /// passes each worker's pool here so scratch reuse spans *requests*, not
+  /// just rounds within one run. Must stay alive for the whole call; sized
+  /// up via Prepare() as needed (never shrunk).
+  engine::WorkspacePool* workspace_pool = nullptr;
+
+  /// Optional cancellation/progress hook polled by every peel loop. When
+  /// cancellation fires mid-run the returned tip numbers are incomplete;
+  /// callers must check control->Cancelled() before trusting the result.
+  engine::PeelControl* control = nullptr;
 };
 
 /// Output of a tip decomposition.

@@ -46,7 +46,7 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
   engine::WingPeelGraph peel_graph(graph, topo, state, support);
   engine::RangeDecomposer<engine::WingPeelGraph> decomposer(
       peel_graph, cost_static, max_partitions, num_threads, pool,
-      /*maintenance=*/nullptr);
+      /*maintenance=*/nullptr, options.control);
   return decomposer.Run(stats);
 }
 
@@ -56,7 +56,7 @@ void FineWingSubset(const BipartiteGraph& graph,
                     const CoarseWingResult& coarse, uint32_t sid,
                     const std::vector<BipartiteGraph::Edge>& all_edges,
                     engine::PeelWorkspace& ws, std::span<Count> wing_numbers,
-                    PeelStats* local_stats) {
+                    engine::PeelControl* control, PeelStats* local_stats) {
   if (coarse.subsets[sid].empty()) return;
   const uint64_t num_edges = graph.num_edges();
 
@@ -94,7 +94,8 @@ void FineWingSubset(const BipartiteGraph& graph,
       env, topo, state, std::span<Count>(ws.support_buffer.data(), env_size),
       heap, remaining, /*floor0=*/coarse.bounds[sid], ws,
       [&in_subset](EdgeOffset x) { return in_subset[x] != 0; },
-      [&](EdgeOffset k, Count theta) { wing_numbers[env_ids[k]] = theta; });
+      [&](EdgeOffset k, Count theta) { wing_numbers[env_ids[k]] = theta; },
+      control);
   local_stats->wedges_fd += outcome.wedges;
 }
 
@@ -112,7 +113,9 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
   }
 
   const EdgeTopology topo = BuildEdgeTopology(graph);
-  engine::WorkspacePool pool;
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
   pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
                graph.num_v());
 
@@ -145,10 +148,11 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
     PeelStats& local = local_stats[static_cast<size_t>(tid)];
     engine::PeelWorkspace& ws = pool.Get(tid);
     while (true) {
+      if (options.control != nullptr && options.control->Cancelled()) break;
       const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
       if (k >= num_subsets) break;
       FineWingSubset(graph, coarse, order[k], all_edges, ws,
-                     result.wing_numbers, &local);
+                     result.wing_numbers, options.control, &local);
     }
   }
   for (const PeelStats& local : local_stats) {

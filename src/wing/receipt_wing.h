@@ -14,6 +14,12 @@ struct ReceiptWingOptions {
   /// much narrower than tip-number ranges (§7), so a handful of partitions
   /// suffices; large values inflate the fine-grained environment graphs.
   int num_partitions = 8;
+
+  /// Caller-owned per-thread scratch (see TipOptions::workspace_pool).
+  engine::WorkspacePool* workspace_pool = nullptr;
+
+  /// Optional cancellation/progress hook (see TipOptions::control).
+  engine::PeelControl* control = nullptr;
 };
 
 /// RECEIPT-W — the §7 extension direction made concrete: the two-step

@@ -61,7 +61,9 @@ std::vector<Count> BruteForcePerEdgeCount(const BipartiteGraph& graph) {
   return support;
 }
 
-WingResult WingDecompose(const BipartiteGraph& graph, int num_threads) {
+WingResult WingDecompose(const BipartiteGraph& graph, int num_threads,
+                         engine::WorkspacePool* workspace_pool,
+                         engine::PeelControl* control) {
   const WallTimer total_timer;
   WingResult result;
   const uint64_t m = graph.num_edges();
@@ -71,7 +73,8 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads) {
     return result;
   }
 
-  engine::WorkspacePool pool;
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool = engine::ResolvePool(workspace_pool, local_pool);
   pool.Prepare(std::max(1, num_threads), graph.num_u(), graph.num_v());
 
   WallTimer count_timer;
@@ -94,7 +97,8 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads) {
       pool.Get(0), [](EdgeOffset) { return true; },
       [&result](EdgeOffset e, Count theta) {
         result.wing_numbers[e] = theta;
-      });
+      },
+      control);
   result.stats.wedges_other = outcome.wedges;
   result.stats.peel_iterations = outcome.iterations;
 

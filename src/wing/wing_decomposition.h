@@ -10,6 +10,11 @@
 
 namespace receipt {
 
+namespace engine {
+class PeelControl;
+class WorkspacePool;
+}  // namespace engine
+
 /// Edge identifiers for wing decomposition: edge e ∈ [0, m) is the e-th slot
 /// of the U-side CSR region, i.e. the pair (EdgeSourceU(g, e),
 /// g.adjacency()[e]). U vertices own the contiguous prefix of the adjacency
@@ -46,7 +51,12 @@ struct WingResult {
 /// extension direction: peel the minimum-support edge, enumerate its
 /// surviving butterflies, and decrement the other three edges of each
 /// (clamped at the current wing number). Counting uses `num_threads`.
-WingResult WingDecompose(const BipartiteGraph& graph, int num_threads = 1);
+/// `workspace_pool` (optional) supplies caller-owned scratch for cross-run
+/// reuse; `control` (optional) is the cancellation/progress hook — on
+/// cancellation the returned wing numbers are incomplete.
+WingResult WingDecompose(const BipartiteGraph& graph, int num_threads = 1,
+                         engine::WorkspacePool* workspace_pool = nullptr,
+                         engine::PeelControl* control = nullptr);
 
 }  // namespace receipt
 

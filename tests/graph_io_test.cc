@@ -74,6 +74,32 @@ TEST_F(GraphIoTest, KonectMissingFile) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST_F(GraphIoTest, KonectRejectsZeroLengthFile) {
+  const std::string path = TempPath("zero_length.konect");
+  WriteFile(path, "");
+  std::string error;
+  EXPECT_FALSE(LoadKonect(path, &error).has_value());
+  EXPECT_NE(error.find("empty file"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, KonectAcceptsCommentsOnlyFileAsEmptyGraph) {
+  // A zero-length file is an error, but a file that merely carries no data
+  // lines (e.g. SaveKonect of the empty graph) is the empty graph.
+  const std::string path = TempPath("comments_only.konect");
+  WriteFile(path, "% header only\n");
+  const auto g = LoadKonect(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, KonectRejectsTrailingGarbageToken) {
+  const std::string path = TempPath("garbage_token.konect");
+  WriteFile(path, "1 2\n3 x4\n");
+  std::string error;
+  EXPECT_FALSE(LoadKonect(path, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST_F(GraphIoTest, BinaryRoundTrip) {
   const BipartiteGraph g = ChungLuBipartite(80, 50, 300, 0.7, 0.3, 23);
   const std::string path = TempPath("roundtrip.bin");
@@ -110,6 +136,40 @@ TEST_F(GraphIoTest, BinaryRejectsTruncatedPayload) {
   std::string error;
   EXPECT_FALSE(LoadBinary(path, &error).has_value());
   EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, BinaryRejectsZeroLengthFile) {
+  const std::string path = TempPath("zero_length.bin");
+  WriteFile(path, "");
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_NE(error.find("empty file"), std::string::npos) << error;
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncatedHeader) {
+  const std::string path = TempPath("short_header.bin");
+  // 8 bytes: the header cuts off after the magic field.
+  WriteFile(path, std::string("RECEIPT1"));
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsEdgeOutOfDeclaredRange) {
+  const BipartiteGraph g = ChungLuBipartite(20, 20, 60, 0.5, 0.5, 31);
+  const std::string path = TempPath("bad_range.bin");
+  ASSERT_TRUE(SaveBinary(g, path));
+  // Shrink the declared num_u below the real max id: every stored edge with
+  // u >= 1 is now out of range.
+  std::fstream patch(path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+  const uint64_t tiny = 1;
+  patch.seekp(8);  // past the magic, onto num_u
+  patch.write(reinterpret_cast<const char*>(&tiny), sizeof(tiny));
+  patch.close();
+  std::string error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_NE(error.find("out of declared range"), std::string::npos) << error;
 }
 
 TEST_F(GraphIoTest, EmptyGraphRoundTripsBothFormats) {
