@@ -1,7 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 namespace receipt::bench {
 namespace {
@@ -109,6 +112,98 @@ void PrintHeader(const std::string& title) {
       "graphs (see DESIGN.md section 2);\nabsolute numbers differ by design "
       "— compare shapes/ratios against the paper columns.\n");
   PrintRule('=');
+}
+
+std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= *argc) {
+        // Fail fast: silently dropping the flag would let a CI step
+        // believe a trajectory file was produced when none was.
+        std::fprintf(stderr, "--json requires a path argument\n");
+        std::exit(2);
+      }
+      path = argv[i + 1];
+      ++i;  // skip the value
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+void AppendPeelStats(const PeelStats& stats, JsonRecord* record) {
+  record->counters.emplace_back("wedges_counting", stats.wedges_counting);
+  record->counters.emplace_back("wedges_cd", stats.wedges_cd);
+  record->counters.emplace_back("wedges_fd", stats.wedges_fd);
+  record->counters.emplace_back("wedges_other", stats.wedges_other);
+  record->counters.emplace_back("sync_rounds", stats.sync_rounds);
+  record->counters.emplace_back("peel_iterations", stats.peel_iterations);
+  record->counters.emplace_back("huc_recounts", stats.huc_recounts);
+  record->counters.emplace_back("dgm_compactions", stats.dgm_compactions);
+  record->counters.emplace_back("frontier_rounds", stats.frontier_rounds);
+  record->counters.emplace_back("scan_rounds", stats.scan_rounds);
+  record->counters.emplace_back("active_scan_elements",
+                                stats.active_scan_elements);
+  record->counters.emplace_back("num_subsets", stats.num_subsets);
+  record->values.emplace_back("seconds_counting", stats.seconds_counting);
+  record->values.emplace_back("seconds_cd", stats.seconds_cd);
+  record->values.emplace_back("seconds_fd", stats.seconds_fd);
+  record->values.emplace_back("seconds_total", stats.seconds_total);
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    const std::vector<JsonRecord>& records) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  AppendJsonString(os, bench);
+  os << ",\n  \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& record = records[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    AppendJsonString(os, record.name);
+    for (const auto& [key, value] : record.counters) {
+      os << ", ";
+      AppendJsonString(os, key);
+      os << ": " << value;
+    }
+    os.precision(9);
+    for (const auto& [key, value] : record.values) {
+      os << ", ";
+      AppendJsonString(os, key);
+      os << ": " << value;
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write JSON output to %s\n", path.c_str());
+    return false;
+  }
+  file << os.str();
+  return static_cast<bool>(file);
 }
 
 }  // namespace receipt::bench

@@ -86,6 +86,35 @@ void PrintRule(char fill = '-');
 /// Prints the standard bench header naming the table/figure reproduced.
 void PrintHeader(const std::string& title);
 
+// ---------------------------------------------------------------------------
+// Machine-readable output: every bench can take `--json <path>` and emit its
+// per-phase timings/counters as a BENCH_*.json trajectory file.
+// ---------------------------------------------------------------------------
+
+/// Strips a `--json <path>` argument pair out of (argc, argv) — call before
+/// handing argv to google-benchmark, which rejects unknown flags. Returns
+/// the path, or "" when the flag is absent.
+std::string ConsumeJsonFlag(int* argc, char** argv);
+
+/// One measurement row of a bench's JSON output: a name plus integer
+/// counters and floating-point values (kept separate so counters round-trip
+/// exactly).
+struct JsonRecord {
+  std::string name;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Appends the per-phase timings and counters of `stats` to `record` —
+/// wedges by phase, sync rounds, frontier-vs-scan direction counters and
+/// the per-phase seconds.
+void AppendPeelStats(const PeelStats& stats, JsonRecord* record);
+
+/// Writes `{"bench": <bench>, "records": [...]}` to `path`. Returns false
+/// (with a message on stderr) when the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    const std::vector<JsonRecord>& records);
+
 }  // namespace receipt::bench
 
 #endif  // RECEIPT_BENCH_BENCH_COMMON_H_

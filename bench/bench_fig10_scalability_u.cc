@@ -1,13 +1,18 @@
 // Reproduces Fig. 10: parallel speedup of RECEIPT when peeling vertex set U
-// with 1…36 threads on every dataset.
+// with 1…36 threads on every dataset. `--json <path>` emits the series as a
+// trajectory file.
 
 #include "bench_scalability_common.h"
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   receipt::bench::RegisterScalabilityBenchmarks("Fig10", receipt::Side::kU);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintScalabilityTable("Fig. 10", receipt::Side::kU);
+  if (!json_path.empty()) {
+    receipt::bench::WriteScalabilityJson(json_path, "Fig10");
+  }
   return 0;
 }

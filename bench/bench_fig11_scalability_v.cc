@@ -1,13 +1,18 @@
 // Reproduces Fig. 11: parallel speedup of RECEIPT when peeling vertex set V
-// with 1…36 threads on every dataset.
+// with 1…36 threads on every dataset. `--json <path>` emits the series as a
+// trajectory file.
 
 #include "bench_scalability_common.h"
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   receipt::bench::RegisterScalabilityBenchmarks("Fig11", receipt::Side::kV);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintScalabilityTable("Fig. 11", receipt::Side::kV);
+  if (!json_path.empty()) {
+    receipt::bench::WriteScalabilityJson(json_path, "Fig11");
+  }
   return 0;
 }

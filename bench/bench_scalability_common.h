@@ -75,6 +75,24 @@ inline void PrintScalabilityTable(const std::string& figure, Side side) {
       "ceiling here.\n\n");
 }
 
+/// Emits the collected (target, threads) → seconds series as a
+/// BENCH_*.json trajectory file. Call after the benchmarks ran.
+inline void WriteScalabilityJson(const std::string& path,
+                                 const std::string& figure) {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, series] : ScalabilitySeries()) {
+    for (const auto& [threads, seconds] : series) {
+      JsonRecord record;
+      record.name = label + "/T" + std::to_string(threads);
+      record.counters.emplace_back("threads",
+                                   static_cast<uint64_t>(threads));
+      record.values.emplace_back("seconds_total", seconds);
+      records.push_back(std::move(record));
+    }
+  }
+  WriteBenchJson(path, figure, records);
+}
+
 inline void RegisterScalabilityBenchmarks(const std::string& figure,
                                           Side side) {
   for (const Target& target : AllTargets()) {

@@ -1,13 +1,21 @@
-#include "tip/bucket.h"
+#include "engine/bucket.h"
 
 #include <algorithm>
 
-namespace receipt {
+namespace receipt::engine {
 
-BucketQueue::BucketQueue(std::span<const Count> support,
-                         std::span<const VertexId> items, Count window)
-    : window_(window) {
-  buckets_.resize(static_cast<size_t>(window_));
+void BucketQueue::Reset(std::span<const Count> support,
+                        std::span<const VertexId> items, Count window) {
+  window_ = window;
+  if (buckets_.size() < static_cast<size_t>(window_)) {
+    buckets_.resize(static_cast<size_t>(window_));
+  }
+  for (auto& bucket : buckets_) bucket.clear();
+  overflow_.clear();
+  cursor_ = 0;
+  needs_rebase_ = false;
+  rebase_count_ = 0;
+
   VertexId max_vertex = 0;
   for (const VertexId v : items) max_vertex = std::max(max_vertex, v);
   latest_key_.assign(items.empty() ? 0 : max_vertex + 1, kInvalidCount);
@@ -58,15 +66,15 @@ bool BucketQueue::Rebase() {
   base_ = new_base;
   cursor_ = 0;
   ++rebase_count_;
-  std::vector<Entry> keep;
+  keep_scratch_.clear();
   for (const Entry& e : overflow_) {
     if (InWindow(e.first)) {
       buckets_[static_cast<size_t>(e.first - base_)].push_back(e);
     } else {
-      keep.push_back(e);
+      keep_scratch_.push_back(e);
     }
   }
-  overflow_ = std::move(keep);
+  std::swap(overflow_, keep_scratch_);
   return true;
 }
 
@@ -107,4 +115,4 @@ std::optional<std::pair<Count, std::vector<VertexId>>> BucketQueue::PopMin() {
   }
 }
 
-}  // namespace receipt
+}  // namespace receipt::engine

@@ -1,5 +1,5 @@
-#ifndef RECEIPT_TIP_BUCKET_H_
-#define RECEIPT_TIP_BUCKET_H_
+#ifndef RECEIPT_ENGINE_BUCKET_H_
+#define RECEIPT_ENGINE_BUCKET_H_
 
 #include <cstdint>
 #include <optional>
@@ -9,7 +9,7 @@
 
 #include "util/types.h"
 
-namespace receipt {
+namespace receipt::engine {
 
 /// Julienne-style bucketing structure used by the ParB baseline (§5.1):
 /// a window of `window` width-1 open buckets over support values
@@ -19,13 +19,26 @@ namespace receipt {
 /// vertex's latest inserted key and the vertex has not been extracted yet.
 /// PopMin() returns the set of vertices holding the minimum current support
 /// value — exactly the per-iteration peel set of parallel bottom-up peeling.
+///
+/// Reset() re-seeds the structure while reusing every backing store, so a
+/// workspace-resident queue is allocation-free across peel tasks once warm
+/// (the per-batch vector handed out by PopMin still allocates).
 class BucketQueue {
  public:
+  BucketQueue() = default;
+
   /// `support[v]` supplies initial keys for every vertex in `items`.
   /// `window` is the number of open buckets (the paper/ParButterfly use
   /// 128).
   BucketQueue(std::span<const Count> support, std::span<const VertexId> items,
-              Count window = 128);
+              Count window = 128) {
+    Reset(support, items, window);
+  }
+
+  /// Re-seeds the queue with `items` keyed by `support`, reusing the bucket,
+  /// overflow and key arrays' capacity.
+  void Reset(std::span<const Count> support, std::span<const VertexId> items,
+             Count window = 128);
 
   /// Re-files `vertex` under `new_key` (lazy: old entries become stale).
   /// No-op for already extracted vertices.
@@ -38,6 +51,15 @@ class BucketQueue {
   /// Number of window-rebase passes performed (diagnostic).
   uint64_t rebase_count() const { return rebase_count_; }
 
+  /// Approximate backing-store capacity in elements (allocation telemetry
+  /// for arena-reuse tests).
+  size_t CapacityFootprint() const {
+    size_t total = overflow_.capacity() + latest_key_.capacity() +
+                   buckets_.capacity() + keep_scratch_.capacity();
+    for (const auto& bucket : buckets_) total += bucket.capacity();
+    return total;
+  }
+
  private:
   using Entry = std::pair<Count, VertexId>;
 
@@ -47,17 +69,22 @@ class BucketQueue {
   /// current entries exist anywhere.
   bool Rebase();
 
-  Count window_;
+  Count window_ = 0;
   Count base_ = 0;
   size_t cursor_ = 0;                    // first possibly non-empty bucket
   bool needs_rebase_ = false;            // an insert landed below base_
   std::vector<std::vector<Entry>> buckets_;
   std::vector<Entry> overflow_;
+  std::vector<Entry> keep_scratch_;      // Rebase out-of-window survivors
   std::vector<Count> latest_key_;        // per vertex; kInvalidCount = extracted
   uint64_t rebase_count_ = 0;
-  uint64_t live_entries_ = 0;            // current (non-stale) entries
 };
 
+}  // namespace receipt::engine
+
+namespace receipt {
+/// Compatibility alias: the queue moved from tip/ into the engine layer.
+using engine::BucketQueue;
 }  // namespace receipt
 
-#endif  // RECEIPT_TIP_BUCKET_H_
+#endif  // RECEIPT_ENGINE_BUCKET_H_

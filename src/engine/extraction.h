@@ -1,46 +1,73 @@
-#ifndef RECEIPT_TIP_EXTRACTION_H_
-#define RECEIPT_TIP_EXTRACTION_H_
+#ifndef RECEIPT_ENGINE_EXTRACTION_H_
+#define RECEIPT_ENGINE_EXTRACTION_H_
 
-#include <memory>
 #include <numeric>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
-#include "tip/bucket.h"
-#include "tip/min_heap.h"
-#include "tip/pairing_heap.h"
-#include "tip/tip_common.h"
+#include "engine/bucket.h"
+#include "engine/min_heap.h"
+#include "engine/pairing_heap.h"
 #include "util/types.h"
 
-namespace receipt {
+namespace receipt::engine {
+
+/// Minimum-support extraction backends for sequential bottom-up peeling
+/// (§5.1: "we use a k-way min-heap … we found it to be faster in practice
+/// than the bucketing structure of [51] or fibonacci heaps").
+enum class MinExtraction {
+  kDAryHeap,     ///< lazy 4-ary min-heap (the paper's choice)
+  kBucketQueue,  ///< Julienne-style 128-bucket structure
+  kPairingHeap,  ///< addressable pairing heap with decrease-key
+};
 
 /// Uniform single-vertex min extraction over the three backends. Supports
 /// must only decrease between pops (the peeling invariant). Extracted
 /// vertices never return.
+///
+/// Lives in the engine layer and is designed to be *workspace-resident*:
+/// every PeelWorkspace owns one MinExtractor, and Reset() re-seeds it while
+/// reusing all backing stores, so RECEIPT FD tasks extract with zero heap
+/// allocations in steady state (the bucket backend's per-batch hand-off
+/// vector is the one exception).
 class MinExtractor {
  public:
+  MinExtractor() = default;
+
   /// Inserts vertices [0, n) with keys taken from `support`.
   MinExtractor(MinExtraction kind, std::span<const Count> support,
-               VertexId n)
-      : kind_(kind), extracted_(n, 0) {
+               VertexId n) {
+    Reset(kind, support, n);
+  }
+
+  /// Re-seeds the extractor with vertices [0, n) keyed by `support`,
+  /// reusing the previous backing stores' capacity.
+  void Reset(MinExtraction kind, std::span<const Count> support, VertexId n) {
+    const size_t footprint_before = CapacityFootprint();
+    kind_ = kind;
+    extracted_.assign(n, 0);
+    batch_.clear();
+    batch_position_ = 0;
+    batch_value_ = 0;
     switch (kind_) {
       case MinExtraction::kDAryHeap:
+        heap_.Clear();
         heap_.Reserve(n);
         for (VertexId v = 0; v < n; ++v) heap_.Push(support[v], v);
         break;
-      case MinExtraction::kBucketQueue: {
-        std::vector<VertexId> items(n);
-        std::iota(items.begin(), items.end(), 0);
-        bucket_ = std::make_unique<BucketQueue>(support, items);
+      case MinExtraction::kBucketQueue:
+        items_scratch_.resize(n);
+        std::iota(items_scratch_.begin(), items_scratch_.end(), 0);
+        bucket_.Reset(support, items_scratch_);
         break;
-      }
       case MinExtraction::kPairingHeap:
         pairing_.Reset(n);
         for (VertexId v = 0; v < n; ++v) pairing_.Insert(v, support[v]);
         break;
     }
+    if (CapacityFootprint() > footprint_before) ++growths_;
   }
 
   /// Records that v's support decreased to `new_support`.
@@ -51,7 +78,7 @@ class MinExtractor {
         heap_.Push(new_support, v);
         break;
       case MinExtraction::kBucketQueue:
-        bucket_->Update(v, new_support);
+        bucket_.Update(v, new_support);
         break;
       case MinExtraction::kPairingHeap:
         pairing_.DecreaseKey(v, new_support);
@@ -76,7 +103,7 @@ class MinExtractor {
         // by one is exact because peeling updates are clamped at the batch
         // value, so cached members keep that support until extracted.
         if (batch_position_ >= batch_.size()) {
-          auto round = bucket_->PopMin();
+          auto round = bucket_.PopMin();
           if (!round) return std::nullopt;
           batch_value_ = round->first;
           batch_ = std::move(round->second);
@@ -99,6 +126,7 @@ class MinExtractor {
   /// vertices (used after a HUC re-count replaced the support array
   /// wholesale).
   void Rebuild(std::span<const Count> support) {
+    const size_t footprint_before = CapacityFootprint();
     const VertexId n = static_cast<VertexId>(extracted_.size());
     switch (kind_) {
       case MinExtraction::kDAryHeap:
@@ -108,11 +136,11 @@ class MinExtractor {
         }
         break;
       case MinExtraction::kBucketQueue: {
-        std::vector<VertexId> items;
+        items_scratch_.clear();
         for (VertexId v = 0; v < n; ++v) {
-          if (!extracted_[v]) items.push_back(v);
+          if (!extracted_[v]) items_scratch_.push_back(v);
         }
-        bucket_ = std::make_unique<BucketQueue>(support, items);
+        bucket_.Reset(support, items_scratch_);
         batch_.clear();
         batch_position_ = 0;
         break;
@@ -125,19 +153,45 @@ class MinExtractor {
         }
         break;
     }
+    if (CapacityFootprint() > footprint_before) ++growths_;
+  }
+
+  /// Number of Reset/Rebuild calls that had to grow a backing store.
+  /// Stable once warm — the arena-reuse tests assert no growth across FD
+  /// tasks. (Lazy-heap pushes between re-seedings may still extend the
+  /// store; that capacity is kept, so warm repeats never re-grow.)
+  uint64_t growths() const { return growths_; }
+
+  /// Approximate capacity of all backing stores, in elements. Public so
+  /// reuse tests can assert footprint stability directly — growth events
+  /// that happen between Reset/Rebuild calls are charged to `growths()`
+  /// only at the next such call, but the footprint itself never lies.
+  size_t CapacityFootprint() const {
+    return extracted_.capacity() + items_scratch_.capacity() +
+           batch_.capacity() + heap_.Capacity() + pairing_.Capacity() +
+           bucket_.CapacityFootprint();
   }
 
  private:
-  MinExtraction kind_;
+
+  MinExtraction kind_ = MinExtraction::kDAryHeap;
   std::vector<uint8_t> extracted_;
   LazyMinHeap<4> heap_;
-  std::unique_ptr<BucketQueue> bucket_;
+  BucketQueue bucket_;
+  std::vector<VertexId> items_scratch_;
   std::vector<VertexId> batch_;
   size_t batch_position_ = 0;
   Count batch_value_ = 0;
   PairingHeap pairing_;
+  uint64_t growths_ = 0;
 };
 
+}  // namespace receipt::engine
+
+namespace receipt {
+/// Compatibility aliases: extraction moved from tip/ into the engine layer.
+using engine::MinExtraction;
+using engine::MinExtractor;
 }  // namespace receipt
 
-#endif  // RECEIPT_TIP_EXTRACTION_H_
+#endif  // RECEIPT_ENGINE_EXTRACTION_H_

@@ -1,5 +1,5 @@
-#ifndef RECEIPT_TIP_MIN_HEAP_H_
-#define RECEIPT_TIP_MIN_HEAP_H_
+#ifndef RECEIPT_ENGINE_MIN_HEAP_H_
+#define RECEIPT_ENGINE_MIN_HEAP_H_
 
 #include <algorithm>
 #include <cstdint>
@@ -10,7 +10,7 @@
 
 #include "util/types.h"
 
-namespace receipt {
+namespace receipt::engine {
 
 /// A d-ary min-heap of (support, vertex) entries with *lazy* decrease-key:
 /// every support update pushes a fresh entry; stale entries (whose key no
@@ -22,6 +22,10 @@ namespace receipt {
 /// heaps (§5.1). Laziness is sound here because supports only decrease
 /// during peeling: the freshest (smallest-key) entry for a vertex always
 /// pops before its stale ones.
+///
+/// Lives under engine/ so extraction state can be allocated from the
+/// WorkspacePool: Clear() keeps the backing store, so a workspace-resident
+/// heap is allocation-free across peel tasks once warm.
 template <int Arity = 4>
 class LazyMinHeap {
   static_assert(Arity >= 2, "heap arity must be at least 2");
@@ -33,6 +37,8 @@ class LazyMinHeap {
   void Clear() { heap_.clear(); }
   bool Empty() const { return heap_.empty(); }
   size_t Size() const { return heap_.size(); }
+  /// Backing-store capacity (allocation telemetry for arena-reuse tests).
+  size_t Capacity() const { return heap_.capacity(); }
 
   /// Inserts (key, vertex). Called at initialization and after every
   /// support decrement.
@@ -93,6 +99,12 @@ class LazyMinHeap {
   std::vector<Entry> heap_;
 };
 
+}  // namespace receipt::engine
+
+namespace receipt {
+/// Compatibility alias: the heap moved from tip/ into the engine layer.
+template <int Arity = 4>
+using LazyMinHeap = engine::LazyMinHeap<Arity>;
 }  // namespace receipt
 
-#endif  // RECEIPT_TIP_MIN_HEAP_H_
+#endif  // RECEIPT_ENGINE_MIN_HEAP_H_

@@ -1,5 +1,5 @@
-#ifndef RECEIPT_TIP_PAIRING_HEAP_H_
-#define RECEIPT_TIP_PAIRING_HEAP_H_
+#ifndef RECEIPT_ENGINE_PAIRING_HEAP_H_
+#define RECEIPT_ENGINE_PAIRING_HEAP_H_
 
 #include <cstdint>
 #include <optional>
@@ -8,7 +8,7 @@
 
 #include "util/types.h"
 
-namespace receipt {
+namespace receipt::engine {
 
 /// An addressable pairing heap with decrease-key — the Fibonacci-heap-class
 /// structure Theorem 3 uses for its O(1)-amortized support updates. The
@@ -17,7 +17,9 @@ namespace receipt {
 /// (bench_ablation_extraction) and as an alternative extraction backend.
 ///
 /// Each vertex owns at most one node, stored in a flat arena indexed by
-/// vertex id; no per-operation allocation after Reset().
+/// vertex id; no per-operation allocation after Reset(), and Reset() itself
+/// reuses the arena's capacity — a workspace-resident heap is
+/// allocation-free across peel tasks once warm.
 class PairingHeap {
  public:
   /// Clears the heap and sizes the arena for vertices in [0, n).
@@ -29,6 +31,8 @@ class PairingHeap {
 
   bool Empty() const { return root_ == kNone; }
   uint64_t Size() const { return size_; }
+  /// Backing-store capacity (allocation telemetry for arena-reuse tests).
+  size_t Capacity() const { return nodes_.capacity() + scratch_.capacity(); }
 
   /// Inserts vertex `v` with `key`. v must not be present.
   void Insert(VertexId v, Count key) {
@@ -142,6 +146,11 @@ class PairingHeap {
   uint64_t size_ = 0;
 };
 
+}  // namespace receipt::engine
+
+namespace receipt {
+/// Compatibility alias: the heap moved from tip/ into the engine layer.
+using engine::PairingHeap;
 }  // namespace receipt
 
-#endif  // RECEIPT_TIP_PAIRING_HEAP_H_
+#endif  // RECEIPT_ENGINE_PAIRING_HEAP_H_

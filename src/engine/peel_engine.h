@@ -8,15 +8,15 @@
 #include <vector>
 
 #include "engine/counting.h"
+#include "engine/extraction.h"
 #include "engine/graph_maintenance.h"
+#include "engine/min_heap.h"
 #include "engine/peel_control.h"
 #include "engine/peel_kernels.h"
 #include "engine/range_result.h"
 #include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
 #include "graph/dynamic_graph.h"
-#include "tip/extraction.h"
-#include "tip/min_heap.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -134,6 +134,18 @@ class WingPeelGraph {
 // templated on the peel entity. One implementation serves RECEIPT CD
 // (TipPeelGraph, with HUC + DGM through GraphMaintenance) and the RECEIPT-W
 // coarse step (WingPeelGraph, maintenance-free).
+//
+// Scheduling is frontier-driven (Julienne-style direction optimization):
+// peel kernels emit newly-in-range entities into per-thread workspace
+// frontier buffers, deduplicated through the pool's per-round epoch bitmap,
+// and the next active set is the order-preserving merge of those buffers —
+// unless the frontier is dense relative to the surviving population (or a
+// HUC re-count invalidated the tracking), in which case the engine falls
+// back to the full parallel scan. Both directions produce bit-identical
+// active sets: every entity alive and in range at the start of round r+1
+// must have received its below-`hi` update during round r (all of round r's
+// active set was peeled), so the claimed set equals the scan set, and
+// sorting the merge restores the scan's ascending-id order.
 // ===========================================================================
 
 template <typename PeelGraph>
@@ -148,22 +160,27 @@ class RangeDecomposer {
   /// `control` (optional) is polled between rounds: on cancellation Run
   /// returns the ranges peeled so far, and every completed round reports
   /// its peel count as progress.
+  /// `frontier_density_threshold` picks the rebuild direction (see
+  /// kDefaultFrontierDensity in util/types.h): ≤ 0 forces full scans,
+  /// > 1 forces frontier merges; both are bit-identical.
   RangeDecomposer(PeelGraph& peel_graph, std::span<const Count> static_cost,
                   uint32_t max_partitions, int num_threads,
                   WorkspacePool& pool, GraphMaintenance* maintenance,
-                  PeelControl* control = nullptr)
+                  PeelControl* control = nullptr,
+                  double frontier_density_threshold = kDefaultFrontierDensity)
       : pg_(&peel_graph),
         static_cost_(static_cost),
         max_partitions_(std::max(1u, max_partitions)),
         num_threads_(num_threads),
         pool_(&pool),
         maintenance_(maintenance),
-        control_(control) {}
+        control_(control),
+        frontier_density_(frontier_density_threshold) {}
 
   /// Peels every entity, producing subsets with non-overlapping peel-number
   /// ranges. Contributes wedges_cd, sync_rounds, peel_iterations,
-  /// huc_recounts and num_subsets to `*stats` (dgm_compactions are read off
-  /// the GraphMaintenance by the caller).
+  /// huc_recounts, frontier/scan round counters and num_subsets to `*stats`
+  /// (dgm_compactions are read off the GraphMaintenance by the caller).
   RangeResult<Id> Run(PeelStats* stats) {
     // Enforce the pool contract (one workspace per thread, kernels' dense
     // arrays sized) rather than assuming the caller Prepared; idempotent
@@ -176,25 +193,20 @@ class RangeDecomposer {
     result.init_support.assign(n, 0);
     result.bounds = {0};
 
+    epochs_ = &pool_->frontier_epochs();
+    epochs_->Reset(n);
+
     double remaining_cost = 0.0;
     for (uint64_t e = 0; e < n; ++e) {
       remaining_cost += static_cast<double>(static_cost_[e]);
     }
     double target = remaining_cost / max_partitions_;  // Alg. 3 line 4
 
-    std::vector<uint32_t> stamps(n, 0);
-    uint32_t round_stamp = 0;
-    std::vector<std::pair<Count, Count>> range_scratch;
-    std::vector<size_t> filter_offsets;  // ParallelFilterInto scratch
-    std::vector<Id> active;
-    std::vector<Id> candidates;
-
     uint64_t alive_count = n;
     while (alive_count > 0) {
       if (control_ != nullptr && control_->Cancelled()) break;
       const uint32_t subset_index =
           static_cast<uint32_t>(result.subsets.size());
-      const Count lo = result.bounds.back();
 
       // Snapshot ⊲⊳init before any entity of this subset is peeled
       // (Alg. 3 lines 6-7).
@@ -211,115 +223,25 @@ class RangeDecomposer {
       Count hi = kInvalidCount;
       if (subset_index < max_partitions_) {
         ParallelFilterInto(
-            n, num_threads_, range_scratch,
+            n, num_threads_, range_scratch_,
             [&](size_t e) { return pg_->IsAlive(static_cast<Id>(e)); },
             [&](size_t e) {
               return std::pair<Count, Count>(pg_->Support(static_cast<Id>(e)),
                                              static_cost_[e]);
             },
-            &filter_offsets);
-        hi = FindRangeBound(range_scratch, std::max(1.0, target));
+            &filter_offsets_);
+        hi = FindRangeBound(range_scratch_, std::max(1.0, target));
       }
 
       result.subsets.emplace_back();
-      std::vector<Id>& subset = result.subsets.back();
-
-      // First active set of the range: full scan (Alg. 3 line 9), parallel.
-      const auto in_range = [&](size_t e) {
-        return pg_->IsAlive(static_cast<Id>(e)) &&
-               pg_->Support(static_cast<Id>(e)) < hi;
-      };
-      const auto as_id = [](size_t e) { return static_cast<Id>(e); };
-      ParallelFilterInto(n, num_threads_, active, in_range, as_id,
-                         &filter_offsets);
-
-      while (!active.empty()) {
-        ++stats->sync_rounds;
-        ++stats->peel_iterations;
-
-        // Assign and claim the whole round first so no update flows
-        // between two entities peeled together (Lemma 2 / priority rule).
-        for (const Id e : active) {
-          result.subset_of[e] = subset_index;
-          pg_->BeginPeel(e);
-        }
-        alive_count -= active.size();
-        subset.insert(subset.end(), active.begin(), active.end());
-
-        bool need_full_scan = false;
-        bool recounted = false;
-        if constexpr (PeelGraph::kSupportsRecount) {
-          if (maintenance_ != nullptr && alive_count > 0) {
-            Count peel_cost = 0;
-            for (const Id e : active) peel_cost += static_cost_[e];
-            if (maintenance_->ShouldRecount(peel_cost)) {
-              // Hybrid Update Computation (§4.1): this round's peeling
-              // would traverse more wedges than a full re-count.
-              ++stats->huc_recounts;
-              maintenance_->BeginRecount(num_threads_);
-              stats->wedges_cd += pg_->RecountSupports(
-                  lo, *pool_, num_threads_, pool_->Get(0));
-              maintenance_->EndRecount();
-              need_full_scan = true;  // re-count invalidated the tracking
-              recounted = true;
-            }
-          }
-        }
-
-        if (!recounted) {
-          ++round_stamp;
-          const uint32_t current_stamp = round_stamp;
-          const uint64_t wedges_before = pool_->TotalWedges();
-          ParallelForWithContext(
-              active.size(), num_threads_, pool_->workspaces(),
-              [&](PeelWorkspace& ws, size_t i) {
-                ws.wedges_traversed += pg_->PeelOneAtomic(
-                    active[i], lo, ws, [&](Id x, Count new_support) {
-                      if (new_support < hi &&
-                          ClaimStamp(stamps, x, current_stamp)) {
-                        ws.candidates.push_back(static_cast<uint64_t>(x));
-                      }
-                    });
-              });
-          const uint64_t round_wedges = pool_->TotalWedges() - wedges_before;
-          stats->wedges_cd += round_wedges;
-          // Dynamic Graph Maintenance (§4.2): compact adjacency once ≥ m
-          // wedges were traversed since the last compaction.
-          if (maintenance_ != nullptr) {
-            maintenance_->OnPeelWedges(round_wedges, num_threads_);
-          }
-          candidates.clear();
-          for (PeelWorkspace& ws : pool_->workspaces()) {
-            for (const uint64_t x : ws.candidates) {
-              candidates.push_back(static_cast<Id>(x));
-            }
-            ws.candidates.clear();
-          }
-        }
-
-        pg_->EndRound(active);
-        if (control_ != nullptr) {
-          control_->ReportPeeled(active.size());
-          if (control_->Cancelled()) break;
-        }
-
-        // Next active set (Alg. 3 line 14): tracked candidates, or a full
-        // scan right after a re-count invalidated the tracking.
-        if (need_full_scan) {
-          ParallelFilterInto(n, num_threads_, active, in_range, as_id,
-                             &filter_offsets);
-        } else {
-          active.clear();
-          for (const Id e : candidates) {
-            if (pg_->IsAlive(e) && pg_->Support(e) < hi) active.push_back(e);
-          }
-        }
-      }
+      alive_count =
+          PeelRange(subset_index, result.bounds.back(), hi, alive_count, n,
+                    result, stats);
 
       // Two-way adaptive range determination (§3.1.1): recompute the target
       // from what remains and damp it by this subset's overshoot.
       double subset_cost = 0.0;
-      for (const Id e : subset) {
+      for (const Id e : result.subsets.back()) {
         subset_cost += static_cast<double>(static_cost_[e]);
       }
       remaining_cost -= subset_cost;
@@ -339,6 +261,141 @@ class RangeDecomposer {
   }
 
  private:
+  /// True when the next active set should be rebuilt by a full scan instead
+  /// of a frontier merge. Deterministic across thread counts: the frontier
+  /// (= claimed set) size is a set property, not a schedule property.
+  bool UseScan(uint64_t frontier_size, uint64_t alive) const {
+    if (frontier_density_ <= 0.0) return true;
+    return static_cast<double>(frontier_size) >=
+           frontier_density_ * static_cast<double>(alive);
+  }
+
+  /// Peels every alive entity with support in [lo, hi) — the round loop of
+  /// Alg. 3 lines 9-14 for one range — appending them in peel order to
+  /// `result.subsets.back()`. Returns the updated alive count.
+  uint64_t PeelRange(uint32_t subset_index, Count lo, Count hi,
+                     uint64_t alive_count, uint64_t n, RangeResult<Id>& result,
+                     PeelStats* stats) {
+    std::vector<Id>& subset = result.subsets.back();
+    const auto in_range = [&](size_t e) {
+      return pg_->IsAlive(static_cast<Id>(e)) &&
+             pg_->Support(static_cast<Id>(e)) < hi;
+    };
+    const auto as_id = [](size_t e) { return static_cast<Id>(e); };
+
+    // First active set of the range: necessarily a full scan (Alg. 3
+    // line 9) — entities whose support already lay inside the new, wider
+    // range were never updated, so no frontier knows them.
+    ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
+                       &filter_offsets_);
+    ++stats->scan_rounds;
+    stats->active_scan_elements += n;
+
+    while (!active_.empty()) {
+      ++stats->sync_rounds;
+      ++stats->peel_iterations;
+
+      // Assign and claim the whole round first so no update flows
+      // between two entities peeled together (Lemma 2 / priority rule).
+      for (const Id e : active_) {
+        result.subset_of[e] = subset_index;
+        pg_->BeginPeel(e);
+      }
+      alive_count -= active_.size();
+      subset.insert(subset.end(), active_.begin(), active_.end());
+
+      bool need_full_scan = false;
+      bool recounted = false;
+      if constexpr (PeelGraph::kSupportsRecount) {
+        if (maintenance_ != nullptr && alive_count > 0) {
+          Count peel_cost = 0;
+          for (const Id e : active_) peel_cost += static_cost_[e];
+          if (maintenance_->ShouldRecount(peel_cost)) {
+            // Hybrid Update Computation (§4.1): this round's peeling
+            // would traverse more wedges than a full re-count.
+            ++stats->huc_recounts;
+            maintenance_->BeginRecount(num_threads_);
+            stats->wedges_cd += pg_->RecountSupports(
+                lo, *pool_, num_threads_, pool_->Get(0));
+            maintenance_->EndRecount();
+            need_full_scan = true;  // re-count invalidated the tracking
+            recounted = true;
+          }
+        }
+      }
+
+      if (!recounted) {
+        epochs_->NextRound();
+        const uint64_t wedges_before = pool_->TotalWedges();
+        ParallelForWithContext(
+            active_.size(), num_threads_, pool_->workspaces(),
+            [&](PeelWorkspace& ws, size_t i) {
+              ws.wedges_traversed += pg_->PeelOneAtomic(
+                  active_[i], lo, ws, [&](Id x, Count new_support) {
+                    if (new_support < hi &&
+                        epochs_->Claim(static_cast<uint64_t>(x))) {
+                      ws.frontier.push_back(static_cast<uint64_t>(x));
+                    }
+                  });
+            });
+        const uint64_t round_wedges = pool_->TotalWedges() - wedges_before;
+        stats->wedges_cd += round_wedges;
+        // Dynamic Graph Maintenance (§4.2): compact adjacency once ≥ m
+        // wedges were traversed since the last compaction.
+        if (maintenance_ != nullptr) {
+          maintenance_->OnPeelWedges(round_wedges, num_threads_);
+        }
+        // Drain the per-thread frontier buffers every round (the workspace
+        // invariant), whichever direction rebuilds the active set.
+        merged_frontier_.clear();
+        for (PeelWorkspace& ws : pool_->workspaces()) {
+          for (const uint64_t x : ws.frontier) {
+            merged_frontier_.push_back(static_cast<Id>(x));
+          }
+          ws.frontier.clear();
+        }
+      }
+
+      pg_->EndRound(active_);
+      if (control_ != nullptr) {
+        control_->ReportPeeled(active_.size());
+        if (control_->Cancelled()) break;
+      }
+
+      // Next active set (Alg. 3 line 14): merge the frontier when it is
+      // sparse; re-scan when it is dense or a re-count invalidated the
+      // tracking. Identical output either way (see class comment).
+      if (need_full_scan) {
+        ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
+                           &filter_offsets_);
+        ++stats->scan_rounds;
+        stats->active_scan_elements += n;
+      } else if (merged_frontier_.empty()) {
+        // No entity dropped into range this round, so the range is
+        // exhausted (the claimed set equals the scan set) — a terminal
+        // check, not a rebuild; counts toward neither direction.
+        active_.clear();
+      } else if (UseScan(merged_frontier_.size(), alive_count)) {
+        ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
+                           &filter_offsets_);
+        ++stats->scan_rounds;
+        stats->active_scan_elements += n;
+      } else {
+        // Order-preserving merge: per-thread buffers arrive in arbitrary
+        // interleavings, so sort by id to restore the scan order (this
+        // also makes subset member order independent of thread count).
+        std::sort(merged_frontier_.begin(), merged_frontier_.end());
+        stats->active_scan_elements += merged_frontier_.size();
+        ++stats->frontier_rounds;
+        active_.clear();
+        for (const Id e : merged_frontier_) {
+          if (pg_->IsAlive(e) && pg_->Support(e) < hi) active_.push_back(e);
+        }
+      }
+    }
+    return alive_count;
+  }
+
   PeelGraph* pg_;
   std::span<const Count> static_cost_;
   uint32_t max_partitions_;
@@ -346,6 +403,14 @@ class RangeDecomposer {
   WorkspacePool* pool_;
   GraphMaintenance* maintenance_;
   PeelControl* control_;
+  double frontier_density_;
+  FrontierEpochs* epochs_ = nullptr;
+
+  // Round-loop scratch, reused across ranges within one Run().
+  std::vector<std::pair<Count, Count>> range_scratch_;
+  std::vector<size_t> filter_offsets_;  // ParallelFilterInto scratch
+  std::vector<Id> active_;
+  std::vector<Id> merged_frontier_;
 };
 
 // ===========================================================================
@@ -417,7 +482,10 @@ SequentialPeelOutcome SequentialTipPeel(const BipartiteGraph& graph,
     }
   }
 
-  MinExtractor extractor(config.min_extraction, support, num_peel);
+  // Workspace-resident extraction: re-seeded per task, backing stores
+  // reused across every FD partition this thread processes.
+  MinExtractor& extractor = ws.extractor;
+  extractor.Reset(config.min_extraction, support, num_peel);
 
   VertexId alive_count = num_peel;
   Count theta = config.floor0;

@@ -127,21 +127,6 @@ uint64_t PeelEdgeButterflies(const BipartiteGraph& graph,
   return wedges;
 }
 
-/// Claims entity `id` for the current round exactly once across threads
-/// (stamps dedup candidate tracking in range peeling).
-template <typename Id>
-bool ClaimStamp(std::vector<uint32_t>& stamps, Id id, uint32_t round) {
-  auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps[id]);
-  uint32_t seen = slot->load(std::memory_order_relaxed);
-  while (seen != round) {
-    if (slot->compare_exchange_weak(seen, round,
-                                    std::memory_order_relaxed)) {
-      return true;
-    }
-  }
-  return false;
-}
-
 /// findHi (Alg. 3 lines 16-21) for both vertex and edge ranges: the
 /// smallest support value s such that the cumulative static peel-cost of
 /// alive entities with support ≤ s reaches `target`, returned as the

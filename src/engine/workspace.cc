@@ -20,8 +20,10 @@ uint64_t WorkspacePool::TotalWedges() const {
 }
 
 uint64_t WorkspacePool::TotalGrowths() const {
-  uint64_t total = 0;
-  for (const PeelWorkspace& ws : workspaces_) total += ws.growths;
+  uint64_t total = frontier_epochs_.growths();
+  for (const PeelWorkspace& ws : workspaces_) {
+    total += ws.growths + ws.extractor.growths() + ws.subgraph_arena.growths;
+  }
   return total;
 }
 

@@ -1,12 +1,18 @@
 #ifndef RECEIPT_ENGINE_WORKSPACE_H_
 #define RECEIPT_ENGINE_WORKSPACE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "engine/extraction.h"
+#include "engine/min_heap.h"
+#include "graph/induced_subgraph.h"
 #include "util/types.h"
+#include "wing/edge_topology.h"
 
 namespace receipt::engine {
 
@@ -32,9 +38,10 @@ struct PeelWorkspace {
   /// V-side mark array for edge (wing) peeling: stores edge id + 1 while a
   /// peel is in flight, 0 = unmarked.
   std::vector<EdgeOffset> edge_mark;
-  /// Frontier buffer: candidate entity ids for the next peeling round.
-  /// EdgeOffset-wide so it serves both vertex and edge peeling.
-  std::vector<uint64_t> candidates;
+  /// Frontier buffer: entity ids this thread's peel kernels pushed into the
+  /// next round's candidate set (deduplicated via the shared FrontierEpochs
+  /// bitmap). EdgeOffset-wide so it serves both vertex and edge peeling.
+  std::vector<uint64_t> frontier;
   /// (entity, new support) pairs produced in one round, consumed after the
   /// barrier (ParB re-bucketing).
   std::vector<std::pair<uint64_t, Count>> updates;
@@ -48,6 +55,26 @@ struct PeelWorkspace {
   /// Per-partition support vector (FD induced subgraphs, wing environment
   /// graphs); assign() keeps the capacity between partitions.
   std::vector<Count> support_buffer;
+
+  /// Workspace-resident min extraction for sequential peel loops: Reset()
+  /// re-seeds it per FD task while reusing the heap/bucket backing stores.
+  MinExtractor extractor;
+  /// Workspace-resident lazy heap for sequential wing (edge) peeling.
+  LazyMinHeap<4> edge_heap;
+  /// Arena for per-partition induced subgraphs and their DynamicGraph view
+  /// (RECEIPT FD) and environment edge lists (RECEIPT-W fine step).
+  InducedSubgraphArena subgraph_arena;
+  /// Per-partition edge life-cycle states (wing fine step).
+  std::vector<uint8_t> state_buffer;
+  /// Per-partition membership flags (wing fine step: in-subset edges).
+  std::vector<uint8_t> flag_buffer;
+  /// Per-partition entity id scratch (wing fine step: environment ids).
+  std::vector<EdgeOffset> id_buffer;
+  /// Per-partition edge-id maps over the environment graph (wing fine
+  /// step), rebuilt in place via BuildEdgeTopologyInto.
+  EdgeTopology env_topo;
+  /// Cursor scratch for BuildEdgeTopologyInto.
+  std::vector<EdgeOffset> topo_cursor;
 
   /// Wedges traversed by kernels running on this workspace; folded by
   /// WorkspacePool::TotalWedges.
@@ -76,6 +103,58 @@ struct PeelWorkspace {
   }
 };
 
+/// Shared per-round claim bitmap for frontier scheduling: each peeling
+/// round opens a fresh epoch, and Claim(id) succeeds exactly once per
+/// (id, epoch) across all threads — the dedup that keeps an entity whose
+/// support is decremented by several peeled neighbors in one round from
+/// entering the next active set twice. Implemented as an epoch-stamp array
+/// rather than a clearable bitset so opening a round is O(1).
+class FrontierEpochs {
+ public:
+  /// Prepares for entities [0, n): all unclaimed, epoch counter rewound.
+  /// Reuses the stamp array's capacity (one growth event when it must
+  /// expand).
+  void Reset(uint64_t n) {
+    if (stamps_.size() < n) {
+      stamps_.resize(n);
+      ++growths_;
+    }
+    std::fill(stamps_.begin(), stamps_.end(), 0u);
+    epoch_ = 0;
+  }
+
+  /// Opens a new claim round. Handles the (astronomically rare) epoch
+  /// wrap-around by clearing all stamps.
+  void NextRound() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Claims `id` for the current round; true exactly once per round per id
+  /// across all threads (lock-free).
+  bool Claim(uint64_t id) {
+    auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps_[id]);
+    uint32_t seen = slot->load(std::memory_order_relaxed);
+    while (seen != epoch_) {
+      if (slot->compare_exchange_weak(seen, epoch_,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of stamp-array growth events (allocation telemetry).
+  uint64_t growths() const { return growths_; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  uint64_t growths_ = 0;
+};
+
 /// The per-decomposition set of workspaces, one per OpenMP thread.
 /// Prepare() is idempotent: repeated calls with the same (or smaller) shape
 /// do not allocate, which is what lets RECEIPT share one pool between
@@ -97,13 +176,21 @@ class WorkspacePool {
   /// Direct container access for ParallelForWithContext.
   std::vector<PeelWorkspace>& workspaces() { return workspaces_; }
 
+  /// The pool-wide frontier claim bitmap (one decomposition runs per pool
+  /// at a time, so a single shared instance suffices and its stamp array is
+  /// reused across requests).
+  FrontierEpochs& frontier_epochs() { return frontier_epochs_; }
+
   /// Sum of per-workspace wedge counters (monotonic; callers take deltas).
   uint64_t TotalWedges() const;
-  /// Sum of per-workspace buffer-growth events (allocation telemetry).
+  /// Sum of per-workspace buffer-growth events (allocation telemetry),
+  /// including the workspace-resident extractors, subgraph arenas and the
+  /// shared frontier bitmap.
   uint64_t TotalGrowths() const;
 
  private:
   std::vector<PeelWorkspace> workspaces_;
+  FrontierEpochs frontier_epochs_;
 };
 
 /// Pool resolution shared by every decomposition driver: run on the

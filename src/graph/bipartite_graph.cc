@@ -10,11 +10,19 @@ namespace receipt {
 
 BipartiteGraph BipartiteGraph::FromEdges(VertexId num_u, VertexId num_v,
                                          std::vector<Edge> edges) {
+  BipartiteGraph g;
+  g.AssignFromEdges(num_u, num_v, edges);
+  return g;
+}
+
+void BipartiteGraph::AssignFromEdges(VertexId num_u, VertexId num_v,
+                                     std::vector<Edge>& edges,
+                                     std::vector<EdgeOffset>* cursor_scratch) {
   for (const Edge& e : edges) {
     if (e.u >= num_u || e.v >= num_v) {
       std::fprintf(stderr,
-                   "BipartiteGraph::FromEdges: edge (%u, %u) out of range "
-                   "(num_u=%u, num_v=%u)\n",
+                   "BipartiteGraph::AssignFromEdges: edge (%u, %u) out of "
+                   "range (num_u=%u, num_v=%u)\n",
                    e.u, e.v, num_u, num_v);
       std::abort();
     }
@@ -22,34 +30,35 @@ BipartiteGraph BipartiteGraph::FromEdges(VertexId num_u, VertexId num_v,
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  BipartiteGraph g;
-  g.num_u_ = num_u;
-  g.num_v_ = num_v;
+  num_u_ = num_u;
+  num_v_ = num_v;
   const VertexId n = num_u + num_v;
-  g.offsets_.assign(n + 1, 0);
+  offsets_.assign(n + 1, 0);
   for (const Edge& e : edges) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[num_u + e.v + 1];
+    ++offsets_[e.u + 1];
+    ++offsets_[num_u + e.v + 1];
   }
-  for (VertexId w = 0; w < n; ++w) g.offsets_[w + 1] += g.offsets_[w];
+  for (VertexId w = 0; w < n; ++w) offsets_[w + 1] += offsets_[w];
 
-  g.adjacency_.resize(2 * edges.size());
-  std::vector<EdgeOffset> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  adjacency_.resize(2 * edges.size());
+  std::vector<EdgeOffset> local_cursor;
+  std::vector<EdgeOffset>& cursor =
+      cursor_scratch != nullptr ? *cursor_scratch : local_cursor;
+  cursor.assign(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : edges) {
     const VertexId gu = e.u;
     const VertexId gv = num_u + e.v;
-    g.adjacency_[cursor[gu]++] = gv;
-    g.adjacency_[cursor[gv]++] = gu;
+    adjacency_[cursor[gu]++] = gv;
+    adjacency_[cursor[gv]++] = gu;
   }
   // Edges were sorted by (u, v), so U adjacency is already ascending; V
   // adjacency is ascending too because u grows monotonically while filling.
   // Sort defensively anyway (cheap, keeps the invariant independent of the
   // fill order above).
   for (VertexId w = 0; w < n; ++w) {
-    std::sort(g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[w]),
-              g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[w + 1]));
+    std::sort(adjacency_.begin() + static_cast<int64_t>(offsets_[w]),
+              adjacency_.begin() + static_cast<int64_t>(offsets_[w + 1]));
   }
-  return g;
 }
 
 Count BipartiteGraph::WedgeCount(VertexId w) const {
@@ -93,17 +102,25 @@ BipartiteGraph BipartiteGraph::SwappedCopy() const {
 }
 
 std::vector<VertexId> BipartiteGraph::DegreeDescendingRanks() const {
-  const VertexId n = num_vertices();
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
-    const uint64_t da = Degree(a), db = Degree(b);
-    if (da != db) return da > db;
-    return a < b;
-  });
-  std::vector<VertexId> rank(n);
-  for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+  std::vector<VertexId> rank;
+  std::vector<VertexId> order;
+  DegreeDescendingRanksInto(rank, order);
   return rank;
+}
+
+void BipartiteGraph::DegreeDescendingRanksInto(
+    std::vector<VertexId>& rank, std::vector<VertexId>& order_scratch) const {
+  const VertexId n = num_vertices();
+  order_scratch.resize(n);
+  std::iota(order_scratch.begin(), order_scratch.end(), 0);
+  std::sort(order_scratch.begin(), order_scratch.end(),
+            [this](VertexId a, VertexId b) {
+              const uint64_t da = Degree(a), db = Degree(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  rank.resize(n);
+  for (VertexId i = 0; i < n; ++i) rank[order_scratch[i]] = i;
 }
 
 std::vector<BipartiteGraph::Edge> BipartiteGraph::ToEdges() const {

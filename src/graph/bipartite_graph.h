@@ -42,6 +42,16 @@ class BipartiteGraph {
   static BipartiteGraph FromEdges(VertexId num_u, VertexId num_v,
                                   std::vector<Edge> edges);
 
+  /// In-place FromEdges: rebuilds *this* graph from `edges`, reusing the
+  /// CSR arrays' capacity — the allocation-free path for arena-resident
+  /// induced subgraphs and environment graphs rebuilt once per partition.
+  /// `edges` is sorted and deduplicated in place (caller scratch);
+  /// `cursor_scratch`, when supplied, replaces the fill cursor's per-call
+  /// allocation.
+  void AssignFromEdges(VertexId num_u, VertexId num_v,
+                       std::vector<Edge>& edges,
+                       std::vector<EdgeOffset>* cursor_scratch = nullptr);
+
   // -- sizes ---------------------------------------------------------------
   VertexId num_u() const { return num_u_; }
   VertexId num_v() const { return num_v_; }
@@ -104,6 +114,18 @@ class BipartiteGraph {
   /// the rank is a strict total order. This is the vertex-priority used by
   /// the counting kernel; lower rank = higher priority.
   std::vector<VertexId> DegreeDescendingRanks() const;
+
+  /// Allocation-free variant: fills `rank` (resized to num_vertices())
+  /// using `order_scratch` for the intermediate sort, both reusing their
+  /// capacity across calls.
+  void DegreeDescendingRanksInto(std::vector<VertexId>& rank,
+                                 std::vector<VertexId>& order_scratch) const;
+
+  /// Capacity of the CSR arrays in elements — the arena-reuse telemetry
+  /// that lets growth tests see through in-place rebuilds.
+  size_t CapacityFootprint() const {
+    return offsets_.capacity() + adjacency_.capacity();
+  }
 
   /// Returns the edge list in side-local coordinates (u ascending, then v).
   std::vector<Edge> ToEdges() const;

@@ -6,16 +6,16 @@
 
 namespace receipt {
 
-DynamicGraph::DynamicGraph(const BipartiteGraph& graph,
-                           std::span<const VertexId> rank)
-    : num_u_(graph.num_u()),
-      num_v_(graph.num_v()),
-      offsets_(graph.offsets().begin(), graph.offsets().end()),
-      adjacency_(graph.adjacency().begin(), graph.adjacency().end()),
-      degree_(num_vertices()),
-      alive_(num_vertices(), 1),
-      rank_(rank.begin(), rank.end()) {
+void DynamicGraph::Reset(const BipartiteGraph& graph,
+                         std::span<const VertexId> rank) {
+  num_u_ = graph.num_u();
+  num_v_ = graph.num_v();
+  offsets_.assign(graph.offsets().begin(), graph.offsets().end());
+  adjacency_.assign(graph.adjacency().begin(), graph.adjacency().end());
   const VertexId n = num_vertices();
+  degree_.resize(n);
+  alive_.assign(n, 1);
+  rank_.assign(rank.begin(), rank.end());
   for (VertexId w = 0; w < n; ++w) {
     degree_[w] = offsets_[w + 1] - offsets_[w];
     // Re-sort this vertex's neighbors by ascending priority rank; the

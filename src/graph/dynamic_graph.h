@@ -25,9 +25,26 @@ namespace receipt {
 /// lists of *live* vertices contain only live neighbors.
 class DynamicGraph {
  public:
+  /// An empty graph; fill in with Reset(). Exists so DynamicGraphs can live
+  /// inside reusable arenas (one per FD workspace).
+  DynamicGraph() = default;
+
   /// `rank` must be a permutation of [0, num_vertices) (see
   /// BipartiteGraph::DegreeDescendingRanks). Lower rank = higher priority.
-  DynamicGraph(const BipartiteGraph& graph, std::span<const VertexId> rank);
+  DynamicGraph(const BipartiteGraph& graph, std::span<const VertexId> rank) {
+    Reset(graph, rank);
+  }
+
+  /// Re-initializes this view over `graph` (everything alive, adjacency
+  /// re-sorted by `rank`), reusing the internal arrays' capacity — the
+  /// allocation-free path for arena-resident per-partition graphs.
+  void Reset(const BipartiteGraph& graph, std::span<const VertexId> rank);
+
+  /// Capacity of the internal arrays in elements (arena-reuse telemetry).
+  size_t CapacityFootprint() const {
+    return offsets_.capacity() + adjacency_.capacity() + degree_.capacity() +
+           alive_.capacity() + rank_.capacity();
+  }
 
   VertexId num_u() const { return num_u_; }
   VertexId num_v() const { return num_v_; }

@@ -1,30 +1,51 @@
 #include "graph/induced_subgraph.h"
 
-#include <unordered_map>
-
 namespace receipt {
 
 InducedSubgraph BuildInducedSubgraph(const BipartiteGraph& graph,
                                      std::span<const VertexId> subset_u) {
-  InducedSubgraph result;
-  result.u_global.assign(subset_u.begin(), subset_u.end());
+  InducedSubgraphArena arena;
+  BuildInducedSubgraph(graph, subset_u, arena);
+  return std::move(arena.subgraph);
+}
 
-  // Map touched V vertices to compact local ids in first-seen order.
-  std::unordered_map<VertexId, VertexId> v_local_of;
-  std::vector<BipartiteGraph::Edge> edges;
+const InducedSubgraph& BuildInducedSubgraph(const BipartiteGraph& graph,
+                                            std::span<const VertexId> subset_u,
+                                            InducedSubgraphArena& arena) {
+  const size_t footprint_before = arena.CapacityFootprint();
+  InducedSubgraph& out = arena.subgraph;
+  out.u_global.assign(subset_u.begin(), subset_u.end());
+  out.v_global.clear();
+
+  // Map touched V vertices to compact local ids in first-seen order through
+  // a dense map (same first-seen order the hash-map implementation
+  // produced, so the resulting graphs are bit-identical).
+  if (arena.v_local_plus1.size() < static_cast<size_t>(graph.num_v())) {
+    arena.v_local_plus1.resize(graph.num_v(), 0);
+  }
+  arena.edges.clear();
   for (VertexId lu = 0; lu < subset_u.size(); ++lu) {
     const VertexId gu = subset_u[lu];
     for (VertexId gv : graph.Neighbors(gu)) {
-      auto [it, inserted] = v_local_of.try_emplace(
-          gv, static_cast<VertexId>(result.v_global.size()));
-      if (inserted) result.v_global.push_back(graph.Local(gv));
-      edges.push_back({lu, it->second});
+      const VertexId v_side = graph.Local(gv);
+      VertexId lv_plus1 = arena.v_local_plus1[v_side];
+      if (lv_plus1 == 0) {
+        out.v_global.push_back(v_side);
+        lv_plus1 = static_cast<VertexId>(out.v_global.size());
+        arena.v_local_plus1[v_side] = lv_plus1;
+      }
+      arena.edges.push_back({lu, lv_plus1 - 1});
     }
   }
-  result.graph = BipartiteGraph::FromEdges(
-      static_cast<VertexId>(subset_u.size()),
-      static_cast<VertexId>(result.v_global.size()), std::move(edges));
-  return result;
+  // Restore the all-zero map invariant by resetting exactly the touched
+  // entries (O(|V'|), not O(|V|)).
+  for (const VertexId v_side : out.v_global) arena.v_local_plus1[v_side] = 0;
+
+  out.graph.AssignFromEdges(static_cast<VertexId>(subset_u.size()),
+                            static_cast<VertexId>(out.v_global.size()),
+                            arena.edges, &arena.cursor_scratch);
+  if (arena.CapacityFootprint() > footprint_before) ++arena.growths;
+  return out;
 }
 
 }  // namespace receipt

@@ -276,6 +276,8 @@ Response DecompositionService::RunEngine(Task& task,
           task.request.kind == RequestKind::kTipV ? Side::kV : Side::kU;
       options.num_threads = threads;
       options.num_partitions = task.request.partitions;
+      options.frontier_density_threshold =
+          options_.frontier_density_threshold;
       options.workspace_pool = &pool;
       options.control = &task.control;
       TipResult result =
@@ -298,6 +300,8 @@ Response DecompositionService::RunEngine(Task& task,
       ReceiptWingOptions options;
       options.num_threads = threads;
       options.num_partitions = task.request.partitions;
+      options.frontier_density_threshold =
+          options_.frontier_density_threshold;
       options.workspace_pool = &pool;
       options.control = &task.control;
       WingResult result = ReceiptWingDecompose(graph, options);

@@ -39,6 +39,12 @@ struct ServiceOptions {
   /// groups queued requests targeting the same graph epoch so they run on
   /// scratch that is already warm for exactly that graph shape.
   size_t max_batch = 8;
+
+  /// Frontier-density threshold applied to every RECEIPT / RECEIPT-W run
+  /// the service executes (see TipOptions::frontier_density_threshold).
+  /// Not part of the cache/coalesce key: both rebuild directions produce
+  /// bit-identical numbers, so results are interchangeable.
+  double frontier_density_threshold = kDefaultFrontierDensity;
 };
 
 /// The decomposition serving layer: turns the one-shot drivers into a

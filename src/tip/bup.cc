@@ -34,6 +34,9 @@ TipResult BupDecompose(const BipartiteGraph& graph,
       live, pool, options.num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
 
+  // The sequential peel extracts through the workspace-resident
+  // MinExtractor (engine/extraction.h), so repeated runs on a caller-owned
+  // pool re-seed retained backing stores instead of allocating.
   engine::SequentialPeelConfig config;
   config.min_extraction = options.min_extraction;
   config.control = options.control;

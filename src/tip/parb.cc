@@ -6,10 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "engine/bucket.h"
 #include "engine/counting.h"
 #include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
-#include "tip/bucket.h"
 #include "util/timer.h"
 
 namespace receipt {

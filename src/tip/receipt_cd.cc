@@ -49,7 +49,7 @@ CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
   engine::TipPeelGraph peel_graph(live, support);
   engine::RangeDecomposer<engine::TipPeelGraph> decomposer(
       peel_graph, wedge_static, max_partitions, num_threads, pool,
-      &maintenance, options.control);
+      &maintenance, options.control, options.frontier_density_threshold);
   CdResult cd = decomposer.Run(stats);
 
   stats->dgm_compactions += maintenance.compactions();

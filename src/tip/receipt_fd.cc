@@ -15,8 +15,10 @@ namespace receipt {
 namespace {
 
 /// Peels one subset to completion (the body of Alg. 4 lines 5-10), entirely
-/// on one thread: builds the induced subgraph, seeds supports from ⊲⊳init,
-/// and hands the loop to the engine's sequential peeler.
+/// on one thread: builds the induced subgraph into the workspace's arena,
+/// seeds supports from ⊲⊳init, and hands the loop to the engine's
+/// sequential peeler. In steady state (arena warm from earlier partitions)
+/// this performs no heap allocation.
 void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
                 const TipOptions& options, engine::PeelWorkspace& ws,
                 std::span<Count> tip_numbers, PeelStats* local_stats) {
@@ -24,10 +26,14 @@ void PeelSubset(const BipartiteGraph& graph, const CdResult& cd, uint32_t sid,
   if (members.empty()) return;
 
   // Induce G_i on (U_i, V) and re-sort by local degree priority (Alg. 4
-  // line 5).
-  const InducedSubgraph induced = BuildInducedSubgraph(graph, members);
+  // line 5), rebuilding the arena-resident subgraph and DynamicGraph view
+  // in place.
+  InducedSubgraphArena& arena = ws.subgraph_arena;
+  const InducedSubgraph& induced = BuildInducedSubgraph(graph, members, arena);
   const BipartiteGraph& sg = induced.graph;
-  DynamicGraph live(sg, sg.DegreeDescendingRanks());
+  sg.DegreeDescendingRanksInto(arena.ranks, arena.rank_scratch);
+  DynamicGraph& live = arena.live;
+  live.Reset(sg, arena.ranks);
   const VertexId num_local = sg.num_u();
 
   // Support initialization from ⊲⊳init (Alg. 4 line 6).

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/extraction.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -13,15 +14,6 @@ namespace engine {
 class PeelControl;
 class WorkspacePool;
 }  // namespace engine
-
-/// Minimum-support extraction backends for sequential bottom-up peeling
-/// (§5.1: "we use a k-way min-heap … we found it to be faster in practice
-/// than the bucketing structure of [51] or fibonacci heaps").
-enum class MinExtraction {
-  kDAryHeap,     ///< lazy 4-ary min-heap (the paper's choice)
-  kBucketQueue,  ///< Julienne-style 128-bucket structure
-  kPairingHeap,  ///< addressable pairing heap with decrease-key
-};
 
 /// Configuration for a tip decomposition run.
 struct TipOptions {
@@ -52,6 +44,14 @@ struct TipOptions {
   /// BUP and RECEIPT FD: the min-support extraction structure (§5.1
   /// implementation ablation; see bench_ablation_extraction).
   MinExtraction min_extraction = MinExtraction::kDAryHeap;
+
+  /// RECEIPT CD only: the frontier-density threshold of the engine's
+  /// direction optimization. While a round's frontier holds fewer than this
+  /// fraction of the remaining alive vertices, the next active set is the
+  /// merged workspace frontiers; otherwise a full parallel scan. ≤ 0 forces
+  /// scan-only rebuilds (the pre-frontier behavior), > 1 forces
+  /// frontier-only rebuilds; results are bit-identical either way.
+  double frontier_density_threshold = kDefaultFrontierDensity;
 
   /// Caller-owned per-thread scratch. When set, the decomposition runs on
   /// these workspaces instead of allocating its own pool — the service layer

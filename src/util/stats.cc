@@ -13,6 +13,9 @@ void PeelStats::Merge(const PeelStats& other) {
   peel_iterations += other.peel_iterations;
   huc_recounts += other.huc_recounts;
   dgm_compactions += other.dgm_compactions;
+  frontier_rounds += other.frontier_rounds;
+  scan_rounds += other.scan_rounds;
+  active_scan_elements += other.active_scan_elements;
   num_subsets += other.num_subsets;
   seconds_counting += other.seconds_counting;
   seconds_cd += other.seconds_cd;
@@ -31,6 +34,9 @@ std::string PeelStats::ToString() const {
      << "  huc_recounts=" << huc_recounts
      << " dgm_compactions=" << dgm_compactions
      << " num_subsets=" << num_subsets << "\n"
+     << "  frontier_rounds=" << frontier_rounds
+     << " scan_rounds=" << scan_rounds
+     << " active_scan_elements=" << active_scan_elements << "\n"
      << "  seconds: counting=" << seconds_counting << " cd=" << seconds_cd
      << " fd=" << seconds_fd << " total=" << seconds_total << "\n"
      << "}";

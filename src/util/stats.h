@@ -37,6 +37,19 @@ struct PeelStats {
   uint64_t huc_recounts = 0;      ///< # iterations where HUC chose re-count.
   uint64_t dgm_compactions = 0;   ///< # dynamic-graph compaction passes.
 
+  // -- frontier scheduling (range peeling direction optimization) ----------
+  /// Active-set builds served by merging the workspace frontier buffers
+  /// (sparse direction: cost proportional to the frontier, not to n).
+  uint64_t frontier_rounds = 0;
+  /// Active-set builds that ran as full parallel scans — the first build of
+  /// every range, every post-re-count rebuild, and every round whose
+  /// frontier crossed the density threshold (dense direction).
+  uint64_t scan_rounds = 0;
+  /// Total entities examined across all active-set builds: n per scan
+  /// build, the merged frontier size per frontier build. The quantity the
+  /// direction optimization minimizes (bench_frontier_micro reports it).
+  uint64_t active_scan_elements = 0;
+
   // -- structure ----------------------------------------------------------
   uint64_t num_subsets = 0;       ///< P actually produced by RECEIPT CD.
 

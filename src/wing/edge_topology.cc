@@ -4,6 +4,13 @@ namespace receipt {
 
 EdgeTopology BuildEdgeTopology(const BipartiteGraph& graph) {
   EdgeTopology topo;
+  std::vector<EdgeOffset> cursor;
+  BuildEdgeTopologyInto(graph, topo, cursor);
+  return topo;
+}
+
+void BuildEdgeTopologyInto(const BipartiteGraph& graph, EdgeTopology& topo,
+                           std::vector<EdgeOffset>& cursor_scratch) {
   const uint64_t num_edges = graph.num_edges();
   topo.source.resize(num_edges);
   for (VertexId u = 0; u < graph.num_u(); ++u) {
@@ -14,17 +21,16 @@ EdgeTopology BuildEdgeTopology(const BipartiteGraph& graph) {
 
   topo.v_region = graph.offsets()[graph.num_u()];
   topo.v_slot_edge.resize(num_edges);
-  std::vector<EdgeOffset> cursor(graph.num_v(), 0);
+  cursor_scratch.assign(graph.num_v(), 0);
   // Walking U-side edges in id order visits each v's neighbors in ascending
   // source order, which matches v's sorted adjacency list.
   for (EdgeOffset e = 0; e < num_edges; ++e) {
     const VertexId gv = graph.adjacency()[e];
     const VertexId v_local = gv - graph.num_u();
     const EdgeOffset slot =
-        graph.NeighborOffset(gv) + cursor[v_local]++ - topo.v_region;
+        graph.NeighborOffset(gv) + cursor_scratch[v_local]++ - topo.v_region;
     topo.v_slot_edge[slot] = e;
   }
-  return topo;
 }
 
 }  // namespace receipt

@@ -24,6 +24,11 @@ struct EdgeTopology {
 /// Builds the maps for `graph`. O(m).
 EdgeTopology BuildEdgeTopology(const BipartiteGraph& graph);
 
+/// In-place variant reusing `topo`'s (and `cursor_scratch`'s) capacity —
+/// the allocation-free path for per-partition environment graphs.
+void BuildEdgeTopologyInto(const BipartiteGraph& graph, EdgeTopology& topo,
+                           std::vector<EdgeOffset>& cursor_scratch);
+
 }  // namespace receipt
 
 #endif  // RECEIPT_WING_EDGE_TOPOLOGY_H_

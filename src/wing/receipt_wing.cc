@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "engine/counting.h"
+#include "engine/min_heap.h"
 #include "engine/peel_engine.h"
-#include "tip/min_heap.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "wing/edge_topology.h"
@@ -46,12 +46,16 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
   engine::WingPeelGraph peel_graph(graph, topo, state, support);
   engine::RangeDecomposer<engine::WingPeelGraph> decomposer(
       peel_graph, cost_static, max_partitions, num_threads, pool,
-      /*maintenance=*/nullptr, options.control);
+      /*maintenance=*/nullptr, options.control,
+      options.frontier_density_threshold);
   return decomposer.Run(stats);
 }
 
 /// Fine-grained step for one edge subset: sequential bottom-up edge peeling
-/// against the environment graph of all equal-or-higher subsets.
+/// against the environment graph of all equal-or-higher subsets. Every
+/// per-partition structure (environment graph, edge topology, states, heap)
+/// lives in the workspace and is rebuilt in place, so steady-state FD tasks
+/// allocate nothing.
 void FineWingSubset(const BipartiteGraph& graph,
                     const CoarseWingResult& coarse, uint32_t sid,
                     const std::vector<BipartiteGraph::Edge>& all_edges,
@@ -61,24 +65,32 @@ void FineWingSubset(const BipartiteGraph& graph,
   const uint64_t num_edges = graph.num_edges();
 
   // Environment: edges of subsets ≥ sid, in global edge-id order so the
-  // environment graph's edge ids map back positionally.
-  std::vector<EdgeOffset> env_ids;
-  std::vector<BipartiteGraph::Edge> env_edges;
+  // environment graph's edge ids map back positionally (all_edges is in
+  // (u, v) order — the same order AssignFromEdges sorts into).
+  std::vector<EdgeOffset>& env_ids = ws.id_buffer;
+  std::vector<BipartiteGraph::Edge>& env_edges = ws.subgraph_arena.edges;
+  env_ids.clear();
+  env_edges.clear();
   for (EdgeOffset e = 0; e < num_edges; ++e) {
     if (coarse.subset_of[e] >= sid) {
       env_ids.push_back(e);
       env_edges.push_back(all_edges[e]);
     }
   }
-  const BipartiteGraph env =
-      BipartiteGraph::FromEdges(graph.num_u(), graph.num_v(), env_edges);
-  const EdgeTopology topo = BuildEdgeTopology(env);
+  BipartiteGraph& env = ws.subgraph_arena.subgraph.graph;
+  env.AssignFromEdges(graph.num_u(), graph.num_v(), env_edges,
+                      &ws.subgraph_arena.cursor_scratch);
+  EdgeTopology& topo = ws.env_topo;
+  BuildEdgeTopologyInto(env, topo, ws.topo_cursor);
   const uint64_t env_size = env.num_edges();
 
-  std::vector<uint8_t> state(env_size, engine::kEdgeAlive);
-  std::vector<uint8_t> in_subset(env_size, 0);
+  std::vector<uint8_t>& state = ws.state_buffer;
+  std::vector<uint8_t>& in_subset = ws.flag_buffer;
+  state.assign(env_size, engine::kEdgeAlive);
+  in_subset.assign(env_size, 0);
   ws.support_buffer.assign(env_size, 0);
-  LazyMinHeap<4> heap;
+  engine::LazyMinHeap<4>& heap = ws.edge_heap;
+  heap.Clear();
   uint64_t remaining = 0;
   for (uint64_t k = 0; k < env_size; ++k) {
     const EdgeOffset global = env_ids[k];

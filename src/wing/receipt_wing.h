@@ -15,6 +15,11 @@ struct ReceiptWingOptions {
   /// suffices; large values inflate the fine-grained environment graphs.
   int num_partitions = 8;
 
+  /// Coarse step only: frontier-density threshold of the engine's direction
+  /// optimization (see TipOptions::frontier_density_threshold — ≤ 0 forces
+  /// scan-only rebuilds, > 1 frontier-only; bit-identical either way).
+  double frontier_density_threshold = kDefaultFrontierDensity;
+
   /// Caller-owned per-thread scratch (see TipOptions::workspace_pool).
   engine::WorkspacePool* workspace_pool = nullptr;
 

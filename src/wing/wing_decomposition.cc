@@ -4,8 +4,8 @@
 #include <utility>
 
 #include "engine/counting.h"
+#include "engine/min_heap.h"
 #include "engine/peel_engine.h"
-#include "tip/min_heap.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "wing/edge_topology.h"
@@ -86,7 +86,10 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads,
   const EdgeTopology topo = BuildEdgeTopology(graph);
 
   std::vector<uint8_t> state(m, engine::kEdgeAlive);
-  LazyMinHeap<4> heap;
+  // Workspace-resident heap: Clear() keeps the backing store, so repeated
+  // decompositions on a caller-owned pool are allocation-free once warm.
+  engine::LazyMinHeap<4>& heap = pool.Get(0).edge_heap;
+  heap.Clear();
   heap.Reserve(m);
   for (EdgeOffset e = 0; e < m; ++e) {
     heap.Push(support[e], static_cast<VertexId>(e));

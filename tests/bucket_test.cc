@@ -1,6 +1,6 @@
 // Unit tests for the Julienne-style BucketQueue used by the ParB baseline.
 
-#include "tip/bucket.h"
+#include "engine/bucket.h"
 
 #include <gtest/gtest.h>
 

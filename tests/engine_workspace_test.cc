@@ -15,6 +15,7 @@
 #include "tip/receipt_cd.h"
 #include "tip/receipt_fd.h"
 #include "util/stats.h"
+#include "wing/receipt_wing.h"
 
 namespace receipt {
 namespace {
@@ -115,9 +116,85 @@ TEST(WorkspaceTest, ScratchIsCleanAfterDecomposition) {
     for (const uint64_t c : ws.wedge_count) EXPECT_EQ(c, 0u) << "tid " << tid;
     for (const EdgeOffset m : ws.edge_mark) EXPECT_EQ(m, 0u) << "tid " << tid;
     EXPECT_TRUE(ws.touched.empty()) << "tid " << tid;
-    EXPECT_TRUE(ws.candidates.empty()) << "tid " << tid;
+    EXPECT_TRUE(ws.frontier.empty()) << "tid " << tid;
     EXPECT_TRUE(ws.updates.empty()) << "tid " << tid;
   }
+}
+
+TEST(WorkspaceTest, FdArenaAndExtractorAreAllocationFreeWhenWarm) {
+  // The per-partition structures RECEIPT FD used to allocate fresh — the
+  // induced subgraph, its DynamicGraph view, and the MinExtractor backing
+  // stores — now live in the workspace. After one warmup decomposition,
+  // repeats must not grow any buffer, whatever extraction backend runs.
+  const BipartiteGraph g = ChungLuBipartite(350, 220, 1700, 0.6, 0.7, 911);
+  for (const MinExtraction extraction :
+       {MinExtraction::kDAryHeap, MinExtraction::kBucketQueue,
+        MinExtraction::kPairingHeap}) {
+    TipOptions options;
+    options.num_threads = 1;  // deterministic task → workspace assignment
+    options.num_partitions = 7;
+    options.min_extraction = extraction;
+
+    engine::WorkspacePool pool;
+    PeelStats stats;
+    const CdResult cd = ReceiptCd(g, options, pool, &stats);
+    std::vector<Count> tips_warm(g.num_u(), 0);
+    ReceiptFd(g, cd, options, pool, tips_warm, &stats);
+    const uint64_t growths_warm = pool.TotalGrowths();
+    EXPECT_GT(growths_warm, 0u);
+
+    // Growth counters are charged at Reset/Rebuild boundaries, so also pin
+    // the raw capacity footprints — they catch growth whenever it happens.
+    engine::PeelWorkspace& ws = pool.Get(0);
+    const size_t arena_footprint = ws.subgraph_arena.CapacityFootprint();
+    const size_t extractor_footprint = ws.extractor.CapacityFootprint();
+
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      PeelStats repeat_stats;
+      const CdResult cd2 = ReceiptCd(g, options, pool, &repeat_stats);
+      std::vector<Count> tips(g.num_u(), 0);
+      ReceiptFd(g, cd2, options, pool, tips, &repeat_stats);
+      EXPECT_EQ(tips, tips_warm) << "backend " << static_cast<int>(extraction);
+    }
+    EXPECT_EQ(pool.TotalGrowths(), growths_warm)
+        << "backend " << static_cast<int>(extraction);
+    EXPECT_EQ(ws.subgraph_arena.CapacityFootprint(), arena_footprint)
+        << "backend " << static_cast<int>(extraction);
+    EXPECT_EQ(ws.extractor.CapacityFootprint(), extractor_footprint)
+        << "backend " << static_cast<int>(extraction);
+  }
+}
+
+TEST(WorkspaceTest, WingFineStepBuffersStableWhenWarm) {
+  // The wing fine step rebuilds its environment graph, edge topology,
+  // state/flag/id buffers and heap inside the workspace. Those buffers
+  // carry no growth counters, so pin their capacity footprints directly:
+  // a second identical decomposition must not grow any of them.
+  const BipartiteGraph g = ChungLuBipartite(120, 80, 600, 0.6, 0.6, 917);
+  ReceiptWingOptions options;
+  options.num_threads = 1;  // deterministic task → workspace assignment
+  options.num_partitions = 5;
+  engine::WorkspacePool pool;
+  options.workspace_pool = &pool;
+
+  const WingResult warm = ReceiptWingDecompose(g, options);
+
+  engine::PeelWorkspace& ws = pool.Get(0);
+  const auto wing_footprint = [&ws] {
+    return ws.state_buffer.capacity() + ws.flag_buffer.capacity() +
+           ws.id_buffer.capacity() + ws.env_topo.source.capacity() +
+           ws.env_topo.v_slot_edge.capacity() + ws.topo_cursor.capacity() +
+           ws.edge_heap.Capacity() + ws.support_buffer.capacity() +
+           ws.subgraph_arena.CapacityFootprint();
+  };
+  const size_t footprint_warm = wing_footprint();
+  EXPECT_GT(footprint_warm, 0u);
+
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const WingResult r = ReceiptWingDecompose(g, options);
+    EXPECT_EQ(r.wing_numbers, warm.wing_numbers);
+  }
+  EXPECT_EQ(wing_footprint(), footprint_warm);
 }
 
 TEST(FindRangeBoundTest, EmptyInputAbsorbsEverything) {

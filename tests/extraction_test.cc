@@ -2,7 +2,7 @@
 // must drive BUP and RECEIPT FD to identical tip numbers (§5.1 ablation
 // correctness).
 
-#include "tip/extraction.h"
+#include "engine/extraction.h"
 
 #include <gtest/gtest.h>
 

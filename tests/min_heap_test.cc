@@ -1,7 +1,7 @@
 // Unit tests for the lazy d-ary min-heap used for minimum-support
 // extraction in BUP and RECEIPT FD.
 
-#include "tip/min_heap.h"
+#include "engine/min_heap.h"
 
 #include <gtest/gtest.h>
 

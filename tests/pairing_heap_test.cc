@@ -1,7 +1,7 @@
 // Unit tests for the addressable pairing heap (decrease-key backend of the
 // §5.1 extraction ablation).
 
-#include "tip/pairing_heap.h"
+#include "engine/pairing_heap.h"
 
 #include <gtest/gtest.h>
 
