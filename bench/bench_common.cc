@@ -148,7 +148,18 @@ void AppendPeelStats(const PeelStats& stats, JsonRecord* record) {
   record->counters.emplace_back("scan_rounds", stats.scan_rounds);
   record->counters.emplace_back("active_scan_elements",
                                 stats.active_scan_elements);
+  record->counters.emplace_back("bound_walk_buckets",
+                                stats.bound_walk_buckets);
+  record->counters.emplace_back("histogram_refines", stats.histogram_refines);
+  record->counters.emplace_back("init_patch_elements",
+                                stats.init_patch_elements);
+  record->counters.emplace_back("index_rebuild_elements",
+                                stats.index_rebuild_elements);
   record->counters.emplace_back("num_subsets", stats.num_subsets);
+  record->values.emplace_back("scan_cost_per_element",
+                              stats.scan_cost_per_element);
+  record->values.emplace_back("frontier_cost_per_element",
+                              stats.frontier_cost_per_element);
   record->values.emplace_back("seconds_counting", stats.seconds_counting);
   record->values.emplace_back("seconds_cd", stats.seconds_cd);
   record->values.emplace_back("seconds_fd", stats.seconds_fd);

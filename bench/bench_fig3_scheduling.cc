@@ -122,10 +122,25 @@ void PrintTable() {
       "subset wedge counts (LPT is a 4/3-approximation).\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, r] : Rows()) {
+    JsonRecord record;
+    record.name = label;
+    record.counters.emplace_back("makespan_was", r.makespan_was);
+    record.counters.emplace_back("makespan_naive", r.makespan_naive);
+    record.values.emplace_back("fd_was_s", r.fd_was);
+    record.values.emplace_back("fd_naive_s", r.fd_naive);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   benchmark::RegisterBenchmark("Fig3/PaperExample",
                                receipt::bench::FigureThreeExample)
       ->Iterations(1);
@@ -143,5 +158,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig3_scheduling",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

@@ -84,10 +84,28 @@ void PrintTable() {
   }
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, series] : AllSeries()) {
+    JsonRecord record;
+    record.name = label;
+    record.counters.emplace_back("theta_max", series.theta_max);
+    record.values.emplace_back("pct_below_small_fraction",
+                               series.pct_below_small_fraction);
+    for (const auto& [threshold, pct] : series.points) {
+      record.values.emplace_back("pct_leq_" + std::to_string(threshold),
+                                 pct);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     if (target.dataset != "tr") continue;  // Fig. 4 is Trackers only
     benchmark::RegisterBenchmark(
@@ -102,5 +120,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig4_distribution",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

@@ -77,10 +77,29 @@ void PrintTable() {
       "with P; small P inflates FD subgraphs.\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, points] : Series()) {
+    for (const auto& [partitions, pt] : points) {
+      JsonRecord record;
+      record.name = label + "/P" + std::to_string(partitions);
+      record.counters.emplace_back("partitions",
+                                   static_cast<uint64_t>(partitions));
+      record.counters.emplace_back("sync_rounds", pt.sync_rounds);
+      record.values.emplace_back("seconds_total", pt.seconds_total);
+      record.values.emplace_back("seconds_cd", pt.seconds_cd);
+      record.values.emplace_back("seconds_fd", pt.seconds_fd);
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   // The paper's Fig. 5 shows the large U-side datasets.
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     if (target.side != receipt::Side::kU) continue;
@@ -99,5 +118,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig5_partitions",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

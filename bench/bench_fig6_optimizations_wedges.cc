@@ -62,10 +62,24 @@ void PrintTable() {
       "DGM adds up to ~1.4x further reduction.\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, r] : Rows()) {
+    JsonRecord record;
+    record.name = label;
+    record.counters.emplace_back("wedges_receipt", r.full);
+    record.counters.emplace_back("wedges_receipt_minus", r.no_dgm);
+    record.counters.emplace_back("wedges_receipt_minus_minus", r.neither);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     benchmark::RegisterBenchmark(
         ("Fig6/" + target.label).c_str(),
@@ -79,5 +93,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig6_optimizations_wedges",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

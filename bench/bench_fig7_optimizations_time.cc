@@ -57,10 +57,24 @@ void PrintTable() {
       "TrU-style datasets gain the most from HUC.\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, r] : Rows()) {
+    JsonRecord record;
+    record.name = label;
+    record.values.emplace_back("seconds_receipt", r.full);
+    record.values.emplace_back("seconds_receipt_minus", r.no_dgm);
+    record.values.emplace_back("seconds_receipt_minus_minus", r.neither);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     benchmark::RegisterBenchmark(
         ("Fig7/" + target.label).c_str(),
@@ -74,5 +88,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig7_optimizations_time",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

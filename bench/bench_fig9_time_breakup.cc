@@ -50,10 +50,22 @@ void PrintTable() {
       "the cheap V-side targets.\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, stats] : Rows()) {
+    JsonRecord record;
+    record.name = label;
+    AppendPeelStats(stats, &record);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     benchmark::RegisterBenchmark(
         ("Fig9/" + target.label).c_str(),
@@ -67,5 +79,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "fig9_time_breakup",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

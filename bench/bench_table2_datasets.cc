@@ -84,10 +84,30 @@ void PrintTable() {
       "the paper.\n\n");
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [name, r] : Rows()) {
+    JsonRecord record;
+    record.name = name;
+    record.counters.emplace_back("num_u", r.num_u);
+    record.counters.emplace_back("num_v", r.num_v);
+    record.counters.emplace_back("num_edges", r.num_edges);
+    record.counters.emplace_back("butterflies", r.butterflies);
+    record.counters.emplace_back("wedges", r.wedges);
+    record.counters.emplace_back("theta_max_u", r.theta_max_u);
+    record.counters.emplace_back("theta_max_v", r.theta_max_v);
+    record.values.emplace_back("avg_du", r.avg_du);
+    record.values.emplace_back("avg_dv", r.avg_dv);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const std::string& name : receipt::PaperAnalogueNames()) {
     benchmark::RegisterBenchmark(
         ("Table2/" + name).c_str(),
@@ -101,5 +121,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "table2_datasets",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

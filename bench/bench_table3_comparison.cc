@@ -124,10 +124,30 @@ void PrintTable() {
       max_rho_ratio, max_wedge_ratio);
 }
 
+std::vector<JsonRecord> CollectRecords() {
+  std::vector<JsonRecord> records;
+  for (const auto& [label, r] : Rows()) {
+    JsonRecord record;
+    record.name = label;
+    record.counters.emplace_back("wedges_pvbcnt", r.wedges_pvbcnt);
+    record.counters.emplace_back("wedges_bup", r.wedges_bup);
+    record.counters.emplace_back("wedges_receipt", r.wedges_receipt);
+    record.counters.emplace_back("rho_parb", r.rho_parb);
+    record.counters.emplace_back("rho_receipt", r.rho_receipt);
+    record.values.emplace_back("t_pvbcnt", r.t_pvbcnt);
+    record.values.emplace_back("t_bup", r.t_bup);
+    record.values.emplace_back("t_parb", r.t_parb);
+    record.values.emplace_back("t_receipt", r.t_receipt);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace receipt::bench
 
 int main(int argc, char** argv) {
+  const std::string json_path = receipt::bench::ConsumeJsonFlag(&argc, argv);
   for (const receipt::bench::Target& target : receipt::bench::AllTargets()) {
     benchmark::RegisterBenchmark(
         ("Table3/" + target.label).c_str(),
@@ -141,5 +161,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   receipt::bench::PrintTable();
+  if (!json_path.empty() &&
+      !receipt::bench::WriteBenchJson(json_path, "table3_comparison",
+                                      receipt::bench::CollectRecords())) {
+    return 1;
+  }
   return 0;
 }

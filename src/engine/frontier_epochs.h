@@ -1,0 +1,66 @@
+#ifndef RECEIPT_ENGINE_FRONTIER_EPOCHS_H_
+#define RECEIPT_ENGINE_FRONTIER_EPOCHS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace receipt::engine {
+
+/// Shared claim bitmap for delta tracking during concurrent peeling: each
+/// tracking window (a peeling round for frontier scheduling, a whole range
+/// for SupportIndex delta maintenance) opens a fresh epoch, and Claim(id)
+/// succeeds exactly once per (id, epoch) across all threads — the dedup
+/// that keeps an entity whose support is decremented by several peeled
+/// neighbors from being recorded twice. Implemented as an epoch-stamp array
+/// rather than a clearable bitset so opening a window is O(1).
+class FrontierEpochs {
+ public:
+  /// Prepares for entities [0, n): all unclaimed, epoch counter rewound.
+  /// Reuses the stamp array's capacity (one growth event when it must
+  /// expand).
+  void Reset(uint64_t n) {
+    if (stamps_.size() < n) {
+      stamps_.resize(n);
+      ++growths_;
+    }
+    std::fill(stamps_.begin(), stamps_.end(), 0u);
+    epoch_ = 0;
+  }
+
+  /// Opens a new claim window. Handles the (astronomically rare) epoch
+  /// wrap-around by clearing all stamps.
+  void NextRound() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Claims `id` for the current window; true exactly once per window per
+  /// id across all threads (lock-free).
+  bool Claim(uint64_t id) {
+    auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps_[id]);
+    uint32_t seen = slot->load(std::memory_order_relaxed);
+    while (seen != epoch_) {
+      if (slot->compare_exchange_weak(seen, epoch_,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of stamp-array growth events (allocation telemetry).
+  uint64_t growths() const { return growths_; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  uint64_t growths_ = 0;
+};
+
+}  // namespace receipt::engine
+
+#endif  // RECEIPT_ENGINE_FRONTIER_EPOCHS_H_

@@ -14,11 +14,13 @@
 #include "engine/peel_control.h"
 #include "engine/peel_kernels.h"
 #include "engine/range_result.h"
+#include "engine/support_index.h"
 #include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
 #include "graph/dynamic_graph.h"
 #include "util/parallel.h"
 #include "util/stats.h"
+#include "util/timer.h"
 #include "util/types.h"
 #include "wing/edge_topology.h"
 
@@ -146,7 +148,47 @@ class WingPeelGraph {
 // must have received its below-`hi` update during round r (all of round r's
 // active set was peeled), so the claimed set equals the scan set, and
 // sorting the merge restores the scan's ascending-id order.
+//
+// The per-range work is output-sensitive through the pool's SupportIndex
+// (default on): range bounds come from a histogram prefix walk plus a
+// bounded one-bucket refine, and ⊲⊳init is written once up front and then
+// patched at each boundary from the entities whose support actually changed
+// — the scan fallback (use_support_index = false: per-range alive filter +
+// selection, per-range ⊲⊳init snapshot) is retained and bit-identical.
 // ===========================================================================
+
+/// Knobs of the coarse decomposition engine, bundled so drivers forward
+/// their option structs in one hop. Every combination is bit-identical —
+/// the knobs trade rebuild and bound-determination cost, never results.
+struct CoarseOptions {
+  /// P: subsets with caller-chosen bounds; one unbounded subset absorbs
+  /// the rest once exhausted (§3.1.1).
+  uint32_t max_partitions = 1;
+  int num_threads = 1;
+  /// Direction rule under kFixedDensity (see kDefaultFrontierDensity):
+  /// ≤ 0 forces full scans, > 1 forces frontier merges.
+  double frontier_density_threshold = kDefaultFrontierDensity;
+  /// Fixed-fraction vs measured-cost direction switching.
+  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+  /// Histogram-indexed range bounds + delta-patched ⊲⊳init (default) vs
+  /// the legacy per-range O(n) scan path.
+  bool use_support_index = true;
+};
+
+/// Builds CoarseOptions from any driver option struct exposing the shared
+/// coarse knobs (TipOptions, ReceiptWingOptions) — the single copy site, so
+/// a new knob added here cannot be silently dropped by one driver.
+template <typename DriverOptions>
+CoarseOptions MakeCoarseOptions(const DriverOptions& options,
+                                uint32_t max_partitions) {
+  CoarseOptions coarse;
+  coarse.max_partitions = max_partitions;
+  coarse.num_threads = options.num_threads;
+  coarse.frontier_density_threshold = options.frontier_density_threshold;
+  coarse.frontier_switch = options.frontier_switch;
+  coarse.use_support_index = options.use_support_index;
+  return coarse;
+}
 
 template <typename PeelGraph>
 class RangeDecomposer {
@@ -160,27 +202,25 @@ class RangeDecomposer {
   /// `control` (optional) is polled between rounds: on cancellation Run
   /// returns the ranges peeled so far, and every completed round reports
   /// its peel count as progress.
-  /// `frontier_density_threshold` picks the rebuild direction (see
-  /// kDefaultFrontierDensity in util/types.h): ≤ 0 forces full scans,
-  /// > 1 forces frontier merges; both are bit-identical.
   RangeDecomposer(PeelGraph& peel_graph, std::span<const Count> static_cost,
-                  uint32_t max_partitions, int num_threads,
-                  WorkspacePool& pool, GraphMaintenance* maintenance,
-                  PeelControl* control = nullptr,
-                  double frontier_density_threshold = kDefaultFrontierDensity)
+                  const CoarseOptions& options, WorkspacePool& pool,
+                  GraphMaintenance* maintenance,
+                  PeelControl* control = nullptr)
       : pg_(&peel_graph),
         static_cost_(static_cost),
-        max_partitions_(std::max(1u, max_partitions)),
-        num_threads_(num_threads),
+        opts_(options),
+        max_partitions_(std::max(1u, options.max_partitions)),
+        num_threads_(options.num_threads),
         pool_(&pool),
         maintenance_(maintenance),
-        control_(control),
-        frontier_density_(frontier_density_threshold) {}
+        control_(control) {}
 
   /// Peels every entity, producing subsets with non-overlapping peel-number
   /// ranges. Contributes wedges_cd, sync_rounds, peel_iterations,
-  /// huc_recounts, frontier/scan round counters and num_subsets to `*stats`
-  /// (dgm_compactions are read off the GraphMaintenance by the caller).
+  /// huc_recounts, frontier/scan round counters, the SupportIndex counters
+  /// (bound_walk_buckets, histogram_refines, init_patch_elements,
+  /// index_rebuild_elements) and num_subsets to `*stats` (dgm_compactions
+  /// are read off the GraphMaintenance by the caller).
   RangeResult<Id> Run(PeelStats* stats) {
     // Enforce the pool contract (one workspace per thread, kernels' dense
     // arrays sized) rather than assuming the caller Prepared; idempotent
@@ -196,10 +236,24 @@ class RangeDecomposer {
     epochs_ = &pool_->frontier_epochs();
     epochs_->Reset(n);
 
-    double remaining_cost = 0.0;
-    for (uint64_t e = 0; e < n; ++e) {
-      remaining_cost += static_cast<double>(static_cost_[e]);
+    index_ = opts_.use_support_index ? &pool_->support_index() : nullptr;
+    full_patch_needed_ = false;
+    if (index_ != nullptr) {
+      // ⊲⊳init is written exactly once up front (every entity is alive
+      // before the first range) and patched at later boundaries from the
+      // delta tracking — no per-range O(n) snapshot.
+      ParallelFor(n, num_threads_, [&](size_t e) {
+        if (pg_->IsAlive(static_cast<Id>(e))) {
+          result.init_support[e] = pg_->Support(static_cast<Id>(e));
+        }
+      });
+      RebuildIndex(n, stats);
     }
+
+    const double total_cost = static_cast<double>(ParallelReduceSum<Count>(
+        n, num_threads_, [&](size_t e) { return static_cost_[e]; },
+        &reduce_scratch_));
+    double remaining_cost = total_cost;
     double target = remaining_cost / max_partitions_;  // Alg. 3 line 4
 
     uint64_t alive_count = n;
@@ -208,29 +262,45 @@ class RangeDecomposer {
       const uint32_t subset_index =
           static_cast<uint32_t>(result.subsets.size());
 
-      // Snapshot ⊲⊳init before any entity of this subset is peeled
-      // (Alg. 3 lines 6-7).
-      ParallelFor(n, num_threads_, [&](size_t e) {
-        if (pg_->IsAlive(static_cast<Id>(e))) {
-          result.init_support[e] = pg_->Support(static_cast<Id>(e));
-        }
-      });
+      // Bring ⊲⊳init up to the state "after all lower subsets were fully
+      // peeled" (Alg. 3 lines 6-7): a delta patch over the entities whose
+      // support changed during the previous range (indexed path) or the
+      // legacy full snapshot (scan fallback / post-re-count).
+      if (index_ != nullptr) {
+        PatchBoundary(n, result, stats);
+        index_->OpenRangeEpoch();
+      } else {
+        ParallelFor(n, num_threads_, [&](size_t e) {
+          if (pg_->IsAlive(static_cast<Id>(e))) {
+            result.init_support[e] = pg_->Support(static_cast<Id>(e));
+          }
+        });
+      }
 
       // Upper bound of this range (Alg. 3 line 8). Once the user-specified
       // P is exhausted, the final subset takes everything left (§3.1.1).
-      // The O(n) alive scan is parallel and order-preserving — for the wing
-      // instantiation n = m, and one scan runs per subset.
+      // Indexed: a histogram prefix walk plus a one-bucket refine, cost
+      // proportional to buckets walked, not n. Fallback: one parallel
+      // alive filter + partial selection per subset.
       Count hi = kInvalidCount;
       if (subset_index < max_partitions_) {
-        ParallelFilterInto(
-            n, num_threads_, range_scratch_,
-            [&](size_t e) { return pg_->IsAlive(static_cast<Id>(e)); },
-            [&](size_t e) {
-              return std::pair<Count, Count>(pg_->Support(static_cast<Id>(e)),
-                                             static_cost_[e]);
-            },
-            &filter_offsets_);
-        hi = FindRangeBound(range_scratch_, std::max(1.0, target));
+        const double clamped = std::max(1.0, target);
+        if (index_ != nullptr) {
+          hi = index_->FindBound(
+              RangeCostNeed(clamped),
+              [&](uint64_t e) { return pg_->Support(static_cast<Id>(e)); },
+              stats);
+        } else {
+          ParallelFilterInto(
+              n, num_threads_, range_scratch_,
+              [&](size_t e) { return pg_->IsAlive(static_cast<Id>(e)); },
+              [&](size_t e) {
+                return std::pair<Count, Count>(
+                    pg_->Support(static_cast<Id>(e)), static_cost_[e]);
+              },
+              &filter_offsets_);
+          hi = FindRangeBound(range_scratch_, clamped);
+        }
       }
 
       result.subsets.emplace_back();
@@ -239,11 +309,15 @@ class RangeDecomposer {
                     result, stats);
 
       // Two-way adaptive range determination (§3.1.1): recompute the target
-      // from what remains and damp it by this subset's overshoot.
-      double subset_cost = 0.0;
-      for (const Id e : result.subsets.back()) {
-        subset_cost += static_cast<double>(static_cost_[e]);
-      }
+      // from what remains and damp it by this subset's overshoot. The
+      // per-subset cost fold is a deterministic parallel reduction (integer
+      // partial sums folded in block order, so the target — and therefore
+      // every later bound — is independent of thread count).
+      const std::vector<Id>& subset = result.subsets.back();
+      const double subset_cost = static_cast<double>(ParallelReduceSum<Count>(
+          subset.size(), num_threads_,
+          [&](size_t i) { return static_cost_[subset[i]]; },
+          &reduce_scratch_));
       remaining_cost -= subset_cost;
       if (subset_index + 1 < max_partitions_) {
         const double base =
@@ -257,17 +331,113 @@ class RangeDecomposer {
     }
 
     stats->num_subsets = result.subsets.size();
+    stats->scan_cost_per_element =
+        std::max(stats->scan_cost_per_element, scan_cost_ewma_);
+    stats->frontier_cost_per_element =
+        std::max(stats->frontier_cost_per_element, frontier_cost_ewma_);
     return result;
   }
 
  private:
+  /// Full SupportIndex rebuild (up front, and after every HUC re-count —
+  /// a re-count rewrites all alive supports without emitting deltas).
+  void RebuildIndex(uint64_t n, PeelStats* stats) {
+    index_->Rebuild(
+        n, [&](uint64_t e) { return pg_->IsAlive(static_cast<Id>(e)); },
+        [&](uint64_t e) { return pg_->Support(static_cast<Id>(e)); },
+        static_cost_, num_threads_);
+    stats->index_rebuild_elements += n;
+  }
+
+  /// Applies the previous range's deferred bucket moves and patches
+  /// ⊲⊳init, touching only changed entities — or the whole entity space
+  /// when a re-count invalidated the tracking.
+  void PatchBoundary(uint64_t n, RangeResult<Id>& result, PeelStats* stats) {
+    if (full_patch_needed_) {
+      ParallelFor(n, num_threads_, [&](size_t e) {
+        if (pg_->IsAlive(static_cast<Id>(e))) {
+          result.init_support[e] = pg_->Support(static_cast<Id>(e));
+        }
+      });
+      stats->init_patch_elements += n;
+      // The snapshot covers ⊲⊳init, but deltas that arrived between the
+      // mid-range rebuild and this boundary still hold deferred bucket
+      // moves — apply them or the histogram would serve stale bounds.
+      for (const uint64_t x : index_->changed()) {
+        ++stats->init_patch_elements;
+        if (!index_->Contains(x)) continue;
+        index_->MoveTo(x, pg_->Support(static_cast<Id>(x)), static_cost_[x]);
+      }
+      index_->ClearChanged();
+      full_patch_needed_ = false;
+      return;
+    }
+    for (const uint64_t x : index_->changed()) {
+      ++stats->init_patch_elements;
+      // Entities peeled during the previous range keep the ⊲⊳init of their
+      // own subset's start — exactly the legacy snapshot semantics, since
+      // the snapshot also never rewrote dead entities.
+      if (!index_->Contains(x)) continue;
+      const Count s = pg_->Support(static_cast<Id>(x));
+      result.init_support[x] = s;
+      index_->MoveTo(x, s, static_cost_[x]);
+    }
+    index_->ClearChanged();
+  }
+
   /// True when the next active set should be rebuilt by a full scan instead
-  /// of a frontier merge. Deterministic across thread counts: the frontier
-  /// (= claimed set) size is a set property, not a schedule property.
-  bool UseScan(uint64_t frontier_size, uint64_t alive) const {
-    if (frontier_density_ <= 0.0) return true;
+  /// of a frontier merge. The fixed-density rule is deterministic across
+  /// thread counts (the frontier size is a set property, not a schedule
+  /// property); the measured-cost rule compares EWMA per-element rebuild
+  /// costs and is timing-dependent — either way the rebuilt set is
+  /// bit-identical, only its cost changes.
+  bool UseScan(uint64_t frontier_size, uint64_t alive, uint64_t n) {
+    if (opts_.frontier_switch == FrontierSwitch::kMeasuredCost &&
+        scan_cost_ewma_ > 0.0 && frontier_cost_ewma_ > 0.0) {
+      bool scan = static_cast<double>(n) * scan_cost_ewma_ <
+                  static_cast<double>(frontier_size) * frontier_cost_ewma_;
+      // Samples only come from the direction that runs, so a single bad
+      // sample (e.g. fixed merge overhead on a tiny first frontier) could
+      // lock the switch into one side forever. Probe the losing direction
+      // after a long winning streak to keep its EWMA current; the probe is
+      // still a correct rebuild, just a potentially slower one.
+      constexpr int kProbeStreak = 16;
+      if (scan == measured_last_scan_) {
+        if (++measured_streak_ >= kProbeStreak) {
+          scan = !scan;
+          measured_streak_ = 0;
+        }
+      } else {
+        measured_streak_ = 0;
+      }
+      measured_last_scan_ = scan;
+      return scan;
+    }
+    if (opts_.frontier_density_threshold <= 0.0) return true;
     return static_cast<double>(frontier_size) >=
-           frontier_density_ * static_cast<double>(alive);
+           opts_.frontier_density_threshold * static_cast<double>(alive);
+  }
+
+  /// The one EWMA update both direction gauges share (the kMeasuredCost
+  /// decision compares these, so their weighting must never drift apart).
+  static void UpdateEwma(double* ewma, double seconds, uint64_t elements) {
+    if (elements == 0) return;
+    const double sample = seconds / static_cast<double>(elements);
+    *ewma = *ewma == 0.0 ? sample : 0.75 * *ewma + 0.25 * sample;
+  }
+
+  /// One timed full-scan active-set rebuild with its direction accounting —
+  /// shared by the three scan sites in PeelRange (initial build, post-
+  /// re-count rebuild, dense-frontier fallback).
+  template <typename InRange, typename AsId>
+  void RebuildByScan(uint64_t n, InRange&& in_range, AsId&& as_id,
+                     PeelStats* stats) {
+    const WallTimer scan_timer;
+    ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
+                       &filter_offsets_);
+    UpdateEwma(&scan_cost_ewma_, scan_timer.Seconds(), n);
+    ++stats->scan_rounds;
+    stats->active_scan_elements += n;
   }
 
   /// Peels every alive entity with support in [lo, hi) — the round loop of
@@ -286,10 +456,7 @@ class RangeDecomposer {
     // First active set of the range: necessarily a full scan (Alg. 3
     // line 9) — entities whose support already lay inside the new, wider
     // range were never updated, so no frontier knows them.
-    ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
-                       &filter_offsets_);
-    ++stats->scan_rounds;
-    stats->active_scan_elements += n;
+    RebuildByScan(n, in_range, as_id, stats);
 
     while (!active_.empty()) {
       ++stats->sync_rounds;
@@ -300,6 +467,9 @@ class RangeDecomposer {
       for (const Id e : active_) {
         result.subset_of[e] = subset_index;
         pg_->BeginPeel(e);
+        if (index_ != nullptr) {
+          index_->Remove(static_cast<uint64_t>(e), static_cost_[e]);
+        }
       }
       alive_count -= active_.size();
       subset.insert(subset.end(), active_.begin(), active_.end());
@@ -320,21 +490,33 @@ class RangeDecomposer {
             maintenance_->EndRecount();
             need_full_scan = true;  // re-count invalidated the tracking
             recounted = true;
+            if (index_ != nullptr) {
+              // The re-count rewrote every alive support behind the delta
+              // tracking's back: rebuild the histogram now (later rounds
+              // still Remove() against it) and fall back to one full
+              // ⊲⊳init snapshot at the next boundary.
+              RebuildIndex(n, stats);
+              full_patch_needed_ = true;
+            }
           }
         }
       }
 
       if (!recounted) {
         epochs_->NextRound();
+        const bool track_deltas = index_ != nullptr;
         const uint64_t wedges_before = pool_->TotalWedges();
         ParallelForWithContext(
             active_.size(), num_threads_, pool_->workspaces(),
             [&](PeelWorkspace& ws, size_t i) {
               ws.wedges_traversed += pg_->PeelOneAtomic(
                   active_[i], lo, ws, [&](Id x, Count new_support) {
-                    if (new_support < hi &&
-                        epochs_->Claim(static_cast<uint64_t>(x))) {
-                      ws.frontier.push_back(static_cast<uint64_t>(x));
+                    const uint64_t xid = static_cast<uint64_t>(x);
+                    if (track_deltas && index_->ClaimDelta(xid)) {
+                      ws.support_delta.push_back(xid);
+                    }
+                    if (new_support < hi && epochs_->Claim(xid)) {
+                      ws.frontier.push_back(xid);
                     }
                   });
             });
@@ -345,14 +527,20 @@ class RangeDecomposer {
         if (maintenance_ != nullptr) {
           maintenance_->OnPeelWedges(round_wedges, num_threads_);
         }
-        // Drain the per-thread frontier buffers every round (the workspace
-        // invariant), whichever direction rebuilds the active set.
+        // Drain the per-thread frontier and support-delta buffers every
+        // round (the workspace invariant), whichever direction rebuilds
+        // the active set. Bucket moves stay deferred until the next range
+        // boundary — the only point the histogram is queried.
         merged_frontier_.clear();
         for (PeelWorkspace& ws : pool_->workspaces()) {
           for (const uint64_t x : ws.frontier) {
             merged_frontier_.push_back(static_cast<Id>(x));
           }
           ws.frontier.clear();
+          if (index_ != nullptr) {
+            index_->AppendChanged(ws.support_delta);
+            ws.support_delta.clear();
+          }
         }
       }
 
@@ -366,24 +554,19 @@ class RangeDecomposer {
       // sparse; re-scan when it is dense or a re-count invalidated the
       // tracking. Identical output either way (see class comment).
       if (need_full_scan) {
-        ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
-                           &filter_offsets_);
-        ++stats->scan_rounds;
-        stats->active_scan_elements += n;
+        RebuildByScan(n, in_range, as_id, stats);
       } else if (merged_frontier_.empty()) {
         // No entity dropped into range this round, so the range is
         // exhausted (the claimed set equals the scan set) — a terminal
         // check, not a rebuild; counts toward neither direction.
         active_.clear();
-      } else if (UseScan(merged_frontier_.size(), alive_count)) {
-        ParallelFilterInto(n, num_threads_, active_, in_range, as_id,
-                           &filter_offsets_);
-        ++stats->scan_rounds;
-        stats->active_scan_elements += n;
+      } else if (UseScan(merged_frontier_.size(), alive_count, n)) {
+        RebuildByScan(n, in_range, as_id, stats);
       } else {
         // Order-preserving merge: per-thread buffers arrive in arbitrary
         // interleavings, so sort by id to restore the scan order (this
         // also makes subset member order independent of thread count).
+        const WallTimer merge_timer;
         std::sort(merged_frontier_.begin(), merged_frontier_.end());
         stats->active_scan_elements += merged_frontier_.size();
         ++stats->frontier_rounds;
@@ -391,6 +574,8 @@ class RangeDecomposer {
         for (const Id e : merged_frontier_) {
           if (pg_->IsAlive(e) && pg_->Support(e) < hi) active_.push_back(e);
         }
+        UpdateEwma(&frontier_cost_ewma_, merge_timer.Seconds(),
+                   merged_frontier_.size());
       }
     }
     return alive_count;
@@ -398,17 +583,24 @@ class RangeDecomposer {
 
   PeelGraph* pg_;
   std::span<const Count> static_cost_;
+  CoarseOptions opts_;
   uint32_t max_partitions_;
   int num_threads_;
   WorkspacePool* pool_;
   GraphMaintenance* maintenance_;
   PeelControl* control_;
-  double frontier_density_;
   FrontierEpochs* epochs_ = nullptr;
+  SupportIndex* index_ = nullptr;
+  bool full_patch_needed_ = false;
+  double scan_cost_ewma_ = 0.0;
+  double frontier_cost_ewma_ = 0.0;
+  int measured_streak_ = 0;        // consecutive same-direction picks
+  bool measured_last_scan_ = false;
 
   // Round-loop scratch, reused across ranges within one Run().
   std::vector<std::pair<Count, Count>> range_scratch_;
   std::vector<size_t> filter_offsets_;  // ParallelFilterInto scratch
+  std::vector<Count> reduce_scratch_;   // ParallelReduceSum scratch
   std::vector<Id> active_;
   std::vector<Id> merged_frontier_;
 };

@@ -25,6 +25,10 @@ struct RangeResult {
 
   /// ⊲⊳init: the support of e after all lower subsets were fully peeled and
   /// before its own subset's peeling began — the FD initialization vector.
+  /// Produced either by per-range snapshots (scan path) or by one up-front
+  /// write plus boundary patches at changed entities (SupportIndex path);
+  /// the two are bit-identical, which the coarse equivalence suites assert
+  /// field by field.
   std::vector<Count> init_support;
 };
 

@@ -1,0 +1,44 @@
+#include "engine/support_index.h"
+
+#include <algorithm>
+
+#include "engine/peel_kernels.h"
+
+namespace receipt::engine {
+namespace {
+
+/// assign() with growth telemetry: reuses capacity, counts the reallocation
+/// when it cannot.
+template <typename V, typename Fill>
+void AssignCounted(V& v, size_t n, Fill fill, uint64_t* growths) {
+  if (v.capacity() < n) ++(*growths);
+  v.assign(n, fill);
+}
+
+}  // namespace
+
+void SupportIndex::PrepareStorage(uint64_t n, Count max_support) {
+  // Power-of-two bucket width, the smallest that keeps the leaf count
+  // within budget — width 1 (exact buckets, refine-free bounds) whenever
+  // the support range allows it.
+  shift_ = 0;
+  while ((max_support >> shift_) + 1 > kMaxBuckets) ++shift_;
+  num_buckets_ = static_cast<uint64_t>(max_support >> shift_) + 1;
+  const uint64_t num_groups = (num_buckets_ + kGroupSize - 1) / kGroupSize;
+
+  AssignCounted(bucket_count_, num_buckets_, uint64_t{0}, &growths_);
+  AssignCounted(bucket_cost_, num_buckets_, uint64_t{0}, &growths_);
+  AssignCounted(group_cost_, num_groups, uint64_t{0}, &growths_);
+  AssignCounted(head_, num_buckets_, kNil, &growths_);
+  AssignCounted(next_, n, kNil, &growths_);
+  AssignCounted(prev_, n, kNil, &growths_);
+  AssignCounted(entity_bucket_, n, kNoBucket, &growths_);
+  AssignCounted(cost_cache_, n, Count{0}, &growths_);
+  alive_ = 0;
+}
+
+Count SupportIndex::RefineCrossing(Count need) {
+  return FindRangeBoundNeed(refine_scratch_, need);
+}
+
+}  // namespace receipt::engine

@@ -20,7 +20,7 @@ uint64_t WorkspacePool::TotalWedges() const {
 }
 
 uint64_t WorkspacePool::TotalGrowths() const {
-  uint64_t total = frontier_epochs_.growths();
+  uint64_t total = frontier_epochs_.growths() + support_index_.growths();
   for (const PeelWorkspace& ws : workspaces_) {
     total += ws.growths + ws.extractor.growths() + ws.subgraph_arena.growths;
   }

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "engine/extraction.h"
+#include "engine/frontier_epochs.h"
 #include "engine/min_heap.h"
+#include "engine/support_index.h"
 #include "graph/induced_subgraph.h"
 #include "util/types.h"
 #include "wing/edge_topology.h"
@@ -42,6 +44,11 @@ struct PeelWorkspace {
   /// next round's candidate set (deduplicated via the shared FrontierEpochs
   /// bitmap). EdgeOffset-wide so it serves both vertex and edge peeling.
   std::vector<uint64_t> frontier;
+  /// Support-delta buffer: entity ids whose support this thread's kernels
+  /// changed, deduplicated per range by the pool SupportIndex's own epoch
+  /// bitmap and folded into the index's changed list after each round
+  /// barrier (the ⊲⊳init patch + histogram maintenance feed).
+  std::vector<uint64_t> support_delta;
   /// (entity, new support) pairs produced in one round, consumed after the
   /// barrier (ParB re-bucketing).
   std::vector<std::pair<uint64_t, Count>> updates;
@@ -103,57 +110,9 @@ struct PeelWorkspace {
   }
 };
 
-/// Shared per-round claim bitmap for frontier scheduling: each peeling
-/// round opens a fresh epoch, and Claim(id) succeeds exactly once per
-/// (id, epoch) across all threads — the dedup that keeps an entity whose
-/// support is decremented by several peeled neighbors in one round from
-/// entering the next active set twice. Implemented as an epoch-stamp array
-/// rather than a clearable bitset so opening a round is O(1).
-class FrontierEpochs {
- public:
-  /// Prepares for entities [0, n): all unclaimed, epoch counter rewound.
-  /// Reuses the stamp array's capacity (one growth event when it must
-  /// expand).
-  void Reset(uint64_t n) {
-    if (stamps_.size() < n) {
-      stamps_.resize(n);
-      ++growths_;
-    }
-    std::fill(stamps_.begin(), stamps_.end(), 0u);
-    epoch_ = 0;
-  }
-
-  /// Opens a new claim round. Handles the (astronomically rare) epoch
-  /// wrap-around by clearing all stamps.
-  void NextRound() {
-    if (++epoch_ == 0) {
-      std::fill(stamps_.begin(), stamps_.end(), 0u);
-      epoch_ = 1;
-    }
-  }
-
-  /// Claims `id` for the current round; true exactly once per round per id
-  /// across all threads (lock-free).
-  bool Claim(uint64_t id) {
-    auto* slot = reinterpret_cast<std::atomic<uint32_t>*>(&stamps_[id]);
-    uint32_t seen = slot->load(std::memory_order_relaxed);
-    while (seen != epoch_) {
-      if (slot->compare_exchange_weak(seen, epoch_,
-                                      std::memory_order_relaxed)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  /// Number of stamp-array growth events (allocation telemetry).
-  uint64_t growths() const { return growths_; }
-
- private:
-  std::vector<uint32_t> stamps_;
-  uint32_t epoch_ = 0;
-  uint64_t growths_ = 0;
-};
+// FrontierEpochs (the shared per-round claim bitmap) lives in
+// engine/frontier_epochs.h so the SupportIndex can own an instance of its
+// own without an include cycle through this header.
 
 /// The per-decomposition set of workspaces, one per OpenMP thread.
 /// Prepare() is idempotent: repeated calls with the same (or smaller) shape
@@ -181,6 +140,12 @@ class WorkspacePool {
   /// reused across requests).
   FrontierEpochs& frontier_epochs() { return frontier_epochs_; }
 
+  /// The pool-wide support histogram of the coarse decomposer (same
+  /// single-decomposition-per-pool contract as the frontier bitmap); its
+  /// buckets, member links and delta stamps are reused across requests, so
+  /// index-driven coarse steps allocate nothing once warm.
+  SupportIndex& support_index() { return support_index_; }
+
   /// Sum of per-workspace wedge counters (monotonic; callers take deltas).
   uint64_t TotalWedges() const;
   /// Sum of per-workspace buffer-growth events (allocation telemetry),
@@ -191,6 +156,7 @@ class WorkspacePool {
  private:
   std::vector<PeelWorkspace> workspaces_;
   FrontierEpochs frontier_epochs_;
+  SupportIndex support_index_;
 };
 
 /// Pool resolution shared by every decomposition driver: run on the

@@ -278,6 +278,8 @@ Response DecompositionService::RunEngine(Task& task,
       options.num_partitions = task.request.partitions;
       options.frontier_density_threshold =
           options_.frontier_density_threshold;
+      options.frontier_switch = options_.frontier_switch;
+      options.use_support_index = options_.use_support_index;
       options.workspace_pool = &pool;
       options.control = &task.control;
       TipResult result =
@@ -302,6 +304,8 @@ Response DecompositionService::RunEngine(Task& task,
       options.num_partitions = task.request.partitions;
       options.frontier_density_threshold =
           options_.frontier_density_threshold;
+      options.frontier_switch = options_.frontier_switch;
+      options.use_support_index = options_.use_support_index;
       options.workspace_pool = &pool;
       options.control = &task.control;
       WingResult result = ReceiptWingDecompose(graph, options);

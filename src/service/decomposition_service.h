@@ -45,6 +45,17 @@ struct ServiceOptions {
   /// Not part of the cache/coalesce key: both rebuild directions produce
   /// bit-identical numbers, so results are interchangeable.
   double frontier_density_threshold = kDefaultFrontierDensity;
+
+  /// Rebuild-direction rule for every RECEIPT / RECEIPT-W run (see
+  /// TipOptions::frontier_switch). Like the density threshold, not part of
+  /// the cache/coalesce key — results are bit-identical either way.
+  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+
+  /// SupportIndex-driven coarse steps for every RECEIPT / RECEIPT-W run
+  /// (see TipOptions::use_support_index). The index lives in each worker's
+  /// WorkspacePool, so its buckets/stamps are reused across requests like
+  /// the rest of the per-worker scratch. Not part of the cache key.
+  bool use_support_index = true;
 };
 
 /// The decomposition serving layer: turns the one-shot drivers into a

@@ -48,8 +48,9 @@ CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
                                        options.use_dgm, graph.num_edges());
   engine::TipPeelGraph peel_graph(live, support);
   engine::RangeDecomposer<engine::TipPeelGraph> decomposer(
-      peel_graph, wedge_static, max_partitions, num_threads, pool,
-      &maintenance, options.control, options.frontier_density_threshold);
+      peel_graph, wedge_static,
+      engine::MakeCoarseOptions(options, max_partitions), pool, &maintenance,
+      options.control);
   CdResult cd = decomposer.Run(stats);
 
   stats->dgm_compactions += maintenance.compactions();

@@ -53,6 +53,19 @@ struct TipOptions {
   /// frontier-only rebuilds; results are bit-identical either way.
   double frontier_density_threshold = kDefaultFrontierDensity;
 
+  /// RECEIPT CD only: how the rebuild direction is picked each round —
+  /// the fixed density fraction above (default, deterministic counters) or
+  /// the measured per-element rebuild costs (adaptive, timing-dependent
+  /// counters). Results are bit-identical under either rule.
+  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+
+  /// RECEIPT CD only: maintain the coarse step's SupportIndex (a
+  /// frontier-fed, cost-weighted support histogram) so range bounds come
+  /// from a histogram prefix walk and ⊲⊳init snapshots become boundary
+  /// patches — per-range cost tracks what changed, not graph size. `false`
+  /// retains the legacy per-range O(n) scan path; both are bit-identical.
+  bool use_support_index = true;
+
   /// Caller-owned per-thread scratch. When set, the decomposition runs on
   /// these workspaces instead of allocating its own pool — the service layer
   /// passes each worker's pool here so scratch reuse spans *requests*, not

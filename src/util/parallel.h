@@ -3,6 +3,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -143,6 +144,68 @@ void ParallelFilterInto(size_t n, int num_threads, std::vector<T>& out,
       if (pred(i)) out[pos++] = make(i);
     }
   }
+}
+
+/// Deterministic parallel reduction: sums make(i) over i ∈ [0, n) with
+/// per-block partial sums (static blocks) folded sequentially in block
+/// order, so for associative element types (the engine sums integer peel
+/// costs) the result is independent of thread count and schedule — the
+/// property the coarse decomposer's bit-identicality guarantees rest on.
+/// Small inputs run sequentially (fork/join overhead dwarfs the sum).
+/// `partials_scratch` (optional) supplies the per-block buffer so repeated
+/// calls in a peeling loop stay allocation-free once warm.
+template <typename T, typename Make>
+T ParallelReduceSum(size_t n, int num_threads, Make&& make,
+                    std::vector<T>* partials_scratch = nullptr) {
+  if (num_threads <= 1 || n < 4096) {
+    T total{};
+    for (size_t i = 0; i < n; ++i) total += make(i);
+    return total;
+  }
+  const size_t num_blocks = static_cast<size_t>(num_threads) * 4;
+  const size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<T> local_partials;
+  std::vector<T>& partials =
+      partials_scratch != nullptr ? *partials_scratch : local_partials;
+  partials.assign(num_blocks, T{});
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = b * block;
+    const size_t hi = lo + block < n ? lo + block : n;
+    T sum{};
+    for (size_t i = lo; i < hi; ++i) sum += make(i);
+    partials[b] = sum;
+  }
+  T total{};
+  for (const T& sum : partials) total += sum;
+  return total;
+}
+
+/// Deterministic parallel maximum of make(i) over i ∈ [0, n): same
+/// block-partial scheme as ParallelReduceSum (max is associative and
+/// commutative, so the fold order never matters). Small inputs run
+/// sequentially.
+template <typename T, typename Make>
+T ParallelReduceMax(size_t n, int num_threads, Make&& make, T identity = T{}) {
+  if (num_threads <= 1 || n < 4096) {
+    T best = identity;
+    for (size_t i = 0; i < n; ++i) best = std::max<T>(best, make(i));
+    return best;
+  }
+  const size_t num_blocks = static_cast<size_t>(num_threads) * 4;
+  const size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<T> partials(num_blocks, identity);
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = b * block;
+    const size_t hi = lo + block < n ? lo + block : n;
+    T best = identity;
+    for (size_t i = lo; i < hi; ++i) best = std::max<T>(best, make(i));
+    partials[b] = best;
+  }
+  T best = identity;
+  for (const T& candidate : partials) best = std::max<T>(best, candidate);
+  return best;
 }
 
 /// A cache-line padded counter; one per thread, folded at the end of a phase.

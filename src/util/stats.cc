@@ -1,5 +1,6 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace receipt {
@@ -16,6 +17,15 @@ void PeelStats::Merge(const PeelStats& other) {
   frontier_rounds += other.frontier_rounds;
   scan_rounds += other.scan_rounds;
   active_scan_elements += other.active_scan_elements;
+  bound_walk_buckets += other.bound_walk_buckets;
+  histogram_refines += other.histogram_refines;
+  init_patch_elements += other.init_patch_elements;
+  index_rebuild_elements += other.index_rebuild_elements;
+  // Cost gauges, not counters: keep the larger observation when folding.
+  scan_cost_per_element = std::max(scan_cost_per_element,
+                                   other.scan_cost_per_element);
+  frontier_cost_per_element = std::max(frontier_cost_per_element,
+                                       other.frontier_cost_per_element);
   num_subsets += other.num_subsets;
   seconds_counting += other.seconds_counting;
   seconds_cd += other.seconds_cd;
@@ -37,6 +47,10 @@ std::string PeelStats::ToString() const {
      << "  frontier_rounds=" << frontier_rounds
      << " scan_rounds=" << scan_rounds
      << " active_scan_elements=" << active_scan_elements << "\n"
+     << "  bound_walk_buckets=" << bound_walk_buckets
+     << " histogram_refines=" << histogram_refines
+     << " init_patch_elements=" << init_patch_elements
+     << " index_rebuild_elements=" << index_rebuild_elements << "\n"
      << "  seconds: counting=" << seconds_counting << " cd=" << seconds_cd
      << " fd=" << seconds_fd << " total=" << seconds_total << "\n"
      << "}";

@@ -50,6 +50,29 @@ struct PeelStats {
   /// direction optimization minimizes (bench_frontier_micro reports it).
   uint64_t active_scan_elements = 0;
 
+  // -- output-sensitive coarse index (SupportIndex) ------------------------
+  /// Histogram buckets (summary groups + leaf buckets) examined by the
+  /// range-bound prefix walks that replace the per-range sort.
+  uint64_t bound_walk_buckets = 0;
+  /// Bucket members examined by in-bucket refines (resolving the exact
+  /// crossing support inside the bucket the prefix walk stopped at).
+  uint64_t histogram_refines = 0;
+  /// Entities examined while patching ⊲⊳init at range boundaries: the
+  /// changed-since-last-boundary list per patch, or n when a HUC re-count
+  /// forced the full-snapshot fallback.
+  uint64_t init_patch_elements = 0;
+  /// Entities re-inserted by full SupportIndex rebuilds (the one up-front
+  /// build plus one per HUC re-count, which invalidates delta tracking).
+  uint64_t index_rebuild_elements = 0;
+
+  // -- adaptive frontier/scan switch (FrontierSwitch::kMeasuredCost) -------
+  /// EWMA seconds per examined element of full-scan active-set rebuilds,
+  /// as last observed by the run (0 while unsampled).
+  double scan_cost_per_element = 0.0;
+  /// EWMA seconds per examined element of frontier-merge rebuilds, as last
+  /// observed by the run (0 while unsampled).
+  double frontier_cost_per_element = 0.0;
+
   // -- structure ----------------------------------------------------------
   uint64_t num_subsets = 0;       ///< P actually produced by RECEIPT CD.
 

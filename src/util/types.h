@@ -46,6 +46,22 @@ inline constexpr Count Choose2(Count n) { return n < 2 ? 0 : n * (n - 1) / 2; }
 /// the driver option structs share one default.
 inline constexpr double kDefaultFrontierDensity = 0.2;
 
+/// How range peeling picks the active-set rebuild direction each round.
+/// Both strategies produce bit-identical decompositions — they only trade
+/// rebuild cost — so the switch is safe to flip per run.
+enum class FrontierSwitch {
+  /// Fixed fraction rule: merge frontiers while the round's frontier holds
+  /// fewer than frontier_density_threshold × (remaining alive) entities.
+  /// Deterministic round counters across repeated runs.
+  kFixedDensity,
+  /// Adaptive rule: compare the measured per-element rebuild cost of the
+  /// two directions (EWMAs over this run's observed rebuilds) and take the
+  /// cheaper predicted side; falls back to the density rule until both
+  /// directions have been sampled. Round counters become timing-dependent,
+  /// results never do.
+  kMeasuredCost,
+};
+
 }  // namespace receipt
 
 #endif  // RECEIPT_UTIL_TYPES_H_

@@ -45,9 +45,9 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
   std::vector<uint8_t> state(num_edges, engine::kEdgeAlive);
   engine::WingPeelGraph peel_graph(graph, topo, state, support);
   engine::RangeDecomposer<engine::WingPeelGraph> decomposer(
-      peel_graph, cost_static, max_partitions, num_threads, pool,
-      /*maintenance=*/nullptr, options.control,
-      options.frontier_density_threshold);
+      peel_graph, cost_static,
+      engine::MakeCoarseOptions(options, max_partitions), pool,
+      /*maintenance=*/nullptr, options.control);
   return decomposer.Run(stats);
 }
 
@@ -113,6 +113,33 @@ void FineWingSubset(const BipartiteGraph& graph,
 
 }  // namespace
 
+engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
+    const BipartiteGraph& graph, const ReceiptWingOptions& options,
+    PeelStats* stats) {
+  const uint64_t num_edges = graph.num_edges();
+  CoarseWingResult coarse;
+  coarse.bounds = {0};
+  if (num_edges == 0) return coarse;
+
+  const EdgeTopology topo = BuildEdgeTopology(graph);
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
+  pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
+               graph.num_v());
+
+  WallTimer count_timer;
+  std::vector<Count> support(num_edges, 0);
+  stats->wedges_counting +=
+      engine::CountEdgeButterflies(graph, pool, options.num_threads, support);
+  stats->seconds_counting += count_timer.Seconds();
+
+  const WallTimer cd_timer;
+  coarse = CoarseWingDecompose(graph, topo, options, support, pool, stats);
+  stats->seconds_cd += cd_timer.Seconds();
+  return coarse;
+}
+
 WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
                                 const ReceiptWingOptions& options) {
   const WallTimer total_timer;
@@ -124,23 +151,17 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
     return result;
   }
 
-  const EdgeTopology topo = BuildEdgeTopology(graph);
   engine::WorkspacePool local_pool;
   engine::WorkspacePool& pool =
       engine::ResolvePool(options.workspace_pool, local_pool);
-  pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
-               graph.num_v());
 
-  WallTimer count_timer;
-  std::vector<Count> support(num_edges, 0);
-  result.stats.wedges_counting = engine::CountEdgeButterflies(
-      graph, pool, options.num_threads, support);
-  result.stats.seconds_counting = count_timer.Seconds();
-
-  const WallTimer cd_timer;
-  const CoarseWingResult coarse = CoarseWingDecompose(
-      graph, topo, options, support, pool, &result.stats);
-  result.stats.seconds_cd = cd_timer.Seconds();
+  // One coarse preamble implementation: route through the public coarse
+  // entry point, pinning the resolved pool so the fine step below peels on
+  // the same warm workspaces.
+  ReceiptWingOptions coarse_options = options;
+  coarse_options.workspace_pool = &pool;
+  const CoarseWingResult coarse =
+      ReceiptWingCoarse(graph, coarse_options, &result.stats);
 
   const WallTimer fd_timer;
   const std::vector<BipartiteGraph::Edge> all_edges = graph.ToEdges();

@@ -1,6 +1,7 @@
 #ifndef RECEIPT_WING_RECEIPT_WING_H_
 #define RECEIPT_WING_RECEIPT_WING_H_
 
+#include "engine/range_result.h"
 #include "graph/bipartite_graph.h"
 #include "wing/wing_decomposition.h"
 
@@ -20,12 +21,32 @@ struct ReceiptWingOptions {
   /// scan-only rebuilds, > 1 frontier-only; bit-identical either way).
   double frontier_density_threshold = kDefaultFrontierDensity;
 
+  /// Coarse step only: rebuild-direction rule (see
+  /// TipOptions::frontier_switch; bit-identical either way).
+  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+
+  /// Coarse step only: histogram-indexed range bounds + delta-patched
+  /// ⊲⊳init (see TipOptions::use_support_index; `false` retains the legacy
+  /// per-range O(m) scan path, bit-identical either way).
+  bool use_support_index = true;
+
   /// Caller-owned per-thread scratch (see TipOptions::workspace_pool).
   engine::WorkspacePool* workspace_pool = nullptr;
 
   /// Optional cancellation/progress hook (see TipOptions::control).
   engine::PeelControl* control = nullptr;
 };
+
+/// Runs only the coarse step of RECEIPT-W: edge-butterfly counting plus the
+/// range decomposition of the edge set, without the fine-grained per-subset
+/// peeling. Exposed so the coarse artifacts (bounds, subsets, subset_of,
+/// ⊲⊳init) can be inspected and equivalence-tested directly — the
+/// indexed-vs-scan coarse sweeps and bench_coarse_micro compare these
+/// RangeResults bit-for-bit. Contributes wedges_counting, the CD counters
+/// and num_subsets to `*stats`.
+engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
+    const BipartiteGraph& graph, const ReceiptWingOptions& options,
+    PeelStats* stats);
 
 /// RECEIPT-W — the §7 extension direction made concrete: the two-step
 /// RECEIPT scheme applied to *edge* peeling (wing decomposition).

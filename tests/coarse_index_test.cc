@@ -1,0 +1,321 @@
+// Output-sensitive coarse decomposition (SupportIndex): the coarse step may
+// determine range bounds and maintain ⊲⊳init either through the
+// frontier-fed support histogram (indexed path) or through the legacy
+// per-range scans (scan fallback). These suites pin the contract that the
+// two paths produce bit-identical RangeResults — bounds, subsets,
+// subset_of, init_support — for every algorithm, generator shape and
+// thread count, that the index's examined-element counters report what ran,
+// and that the pool-resident index allocates nothing once warm.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "engine/support_index.h"
+#include "engine/workspace.h"
+#include "graph/generators.h"
+#include "tip/bup.h"
+#include "tip/receipt.h"
+#include "tip/receipt_cd.h"
+#include "util/parallel.h"
+#include "wing/receipt_wing.h"
+#include "wing/wing_decomposition.h"
+
+namespace receipt {
+namespace {
+
+std::vector<int> SweepThreads() {
+  std::vector<int> threads = {1, 4};
+  const int hw = MaxThreads();
+  if (hw != 1 && hw != 4) threads.push_back(hw);
+  return threads;
+}
+
+BipartiteGraph SweepGraph(bool skewed, uint32_t seed) {
+  // Skewed: heavy-tailed degrees, long peeling tails — the regime the
+  // index exists for. Uniform: flat degrees, the scan path's best case.
+  return skewed ? ChungLuBipartite(400, 260, 3000, 0.8, 0.8, seed)
+                : RandomBipartite(400, 260, 3000, seed);
+}
+
+void ExpectSameRanges(const engine::RangeResult<VertexId>& scan,
+                      const engine::RangeResult<VertexId>& indexed) {
+  EXPECT_EQ(scan.bounds, indexed.bounds);
+  EXPECT_EQ(scan.subsets, indexed.subsets);
+  EXPECT_EQ(scan.subset_of, indexed.subset_of);
+  EXPECT_EQ(scan.init_support, indexed.init_support);
+}
+
+// ---------------------------------------------------------------------------
+// SupportIndex unit behavior against a brute-force model.
+// ---------------------------------------------------------------------------
+
+TEST(SupportIndexTest, FindBoundMatchesBruteForce) {
+  const uint64_t n = 500;
+  std::vector<Count> support(n);
+  std::vector<Count> cost(n);
+  std::vector<bool> alive(n, true);
+  for (uint64_t e = 0; e < n; ++e) {
+    support[e] = (e * 37) % 97;
+    cost[e] = 1 + (e * 13) % 7;
+    if (e % 11 == 0) alive[e] = false;
+  }
+
+  engine::SupportIndex index;
+  index.Rebuild(
+      n, [&](uint64_t e) { return alive[e]; },
+      [&](uint64_t e) { return support[e]; }, cost);
+
+  const auto brute = [&](Count need) -> Count {
+    std::vector<std::pair<Count, Count>> sc;
+    for (uint64_t e = 0; e < n; ++e) {
+      if (alive[e]) sc.emplace_back(support[e], cost[e]);
+    }
+    if (sc.empty()) return kInvalidCount;
+    std::sort(sc.begin(), sc.end());
+    Count acc = 0;
+    for (const auto& [s, c] : sc) {
+      acc += c;
+      if (acc >= need) return s + 1;
+    }
+    return sc.back().first + 1;
+  };
+  const auto supports = [&](uint64_t e) { return support[e]; };
+
+  PeelStats stats;
+  for (const Count need : {Count{1}, Count{50}, Count{700}, Count{1800},
+                           Count{100000}}) {
+    EXPECT_EQ(index.FindBound(need, supports, &stats), brute(need))
+        << "need " << need;
+  }
+  EXPECT_GT(stats.bound_walk_buckets, 0u);
+
+  // Remove a batch (as peeled rounds do), move a few survivors (as
+  // boundary reconciliation does), and re-check every target.
+  for (uint64_t e = 0; e < n; e += 5) {
+    if (alive[e]) {
+      index.Remove(e, cost[e]);
+      alive[e] = false;
+    }
+  }
+  for (uint64_t e = 1; e < n; e += 7) {
+    if (alive[e]) {
+      support[e] = support[e] / 2;
+      index.MoveTo(e, support[e], cost[e]);
+    }
+  }
+  for (const Count need : {Count{1}, Count{50}, Count{700}, Count{1800},
+                           Count{100000}}) {
+    EXPECT_EQ(index.FindBound(need, supports, &stats), brute(need))
+        << "after mutation, need " << need;
+  }
+}
+
+TEST(SupportIndexTest, WideSupportRangeUsesBucketedRefine) {
+  // Supports far above the leaf-bucket budget force a power-of-two bucket
+  // width > 1, so FindBound must resolve crossings through the in-bucket
+  // refine rather than bucket arithmetic alone.
+  const uint64_t n = 300;
+  std::vector<Count> support(n);
+  std::vector<Count> cost(n, 1);
+  for (uint64_t e = 0; e < n; ++e) {
+    support[e] = e * 1'000'003;  // spread across ~300M support values
+  }
+  engine::SupportIndex index;
+  index.Rebuild(
+      n, [](uint64_t) { return true; },
+      [&](uint64_t e) { return support[e]; }, cost);
+  ASSERT_LE(index.num_buckets(), engine::SupportIndex::kMaxBuckets);
+
+  PeelStats stats;
+  const auto supports = [&](uint64_t e) { return support[e]; };
+  for (const Count need : {Count{1}, Count{2}, Count{150}, Count{300}}) {
+    EXPECT_EQ(index.FindBound(need, supports, &stats),
+              support[need - 1] + 1)
+        << "need " << need;
+  }
+  // Total mass short of the target: maximum alive support + 1.
+  EXPECT_EQ(index.FindBound(Count{301}, supports, &stats),
+            support[n - 1] + 1);
+  EXPECT_GT(stats.histogram_refines, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed vs scan coarse step: RECEIPT CD (tip).
+// ---------------------------------------------------------------------------
+
+class CoarseIndexTipSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(CoarseIndexTipSweep, IndexedAndScanPathsAreBitIdentical) {
+  const auto [skewed, optimized] = GetParam();
+  const BipartiteGraph g = SweepGraph(skewed, skewed ? 311u : 313u);
+
+  for (const int threads : SweepThreads()) {
+    TipOptions options;
+    options.num_threads = threads;
+    options.num_partitions = 8;
+    options.use_huc = optimized;
+    options.use_dgm = optimized;
+
+    options.use_support_index = false;
+    PeelStats scan_stats;
+    const CdResult scan = ReceiptCd(g, options, &scan_stats);
+
+    options.use_support_index = true;
+    PeelStats indexed_stats;
+    const CdResult indexed = ReceiptCd(g, options, &indexed_stats);
+
+    ExpectSameRanges(scan, indexed);
+
+    // The scan fallback must not touch the index; the indexed path must
+    // actually route bound determination through it.
+    EXPECT_EQ(scan_stats.bound_walk_buckets, 0u);
+    EXPECT_EQ(scan_stats.init_patch_elements, 0u);
+    EXPECT_EQ(scan_stats.index_rebuild_elements, 0u);
+    EXPECT_GT(indexed_stats.bound_walk_buckets, 0u);
+    EXPECT_GE(indexed_stats.index_rebuild_elements,
+              static_cast<uint64_t>(g.num_u()));
+
+    // Identical peeling structure: the index changes how bounds and
+    // ⊲⊳init are produced, never what is peeled when.
+    EXPECT_EQ(scan_stats.sync_rounds, indexed_stats.sync_rounds);
+    EXPECT_EQ(scan_stats.TotalWedges(), indexed_stats.TotalWedges());
+    EXPECT_EQ(scan_stats.huc_recounts, indexed_stats.huc_recounts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoarseIndexTipSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// Thread-count invariance of the indexed path itself (the delta lists are
+// schedule-dependent; the results must not be).
+TEST(CoarseIndexTipTest, IndexedPathIsThreadCountInvariant) {
+  const BipartiteGraph g = SweepGraph(/*skewed=*/true, 317u);
+  TipOptions options;
+  options.num_partitions = 6;
+  options.num_threads = 1;
+  PeelStats s1;
+  const CdResult one = ReceiptCd(g, options, &s1);
+  for (const int threads : SweepThreads()) {
+    options.num_threads = threads;
+    PeelStats st;
+    const CdResult many = ReceiptCd(g, options, &st);
+    ExpectSameRanges(one, many);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed vs scan coarse step: RECEIPT-W (wing).
+// ---------------------------------------------------------------------------
+
+class CoarseIndexWingSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CoarseIndexWingSweep, IndexedAndScanPathsAreBitIdentical) {
+  const bool skewed = GetParam();
+  const BipartiteGraph g = skewed
+                               ? ChungLuBipartite(70, 50, 320, 0.7, 0.7, 331)
+                               : RandomBipartite(70, 50, 320, 337);
+
+  for (const int threads : SweepThreads()) {
+    for (const int partitions : {2, 5}) {
+      ReceiptWingOptions options;
+      options.num_threads = threads;
+      options.num_partitions = partitions;
+
+      options.use_support_index = false;
+      PeelStats scan_stats;
+      const auto scan = ReceiptWingCoarse(g, options, &scan_stats);
+
+      options.use_support_index = true;
+      PeelStats indexed_stats;
+      const auto indexed = ReceiptWingCoarse(g, options, &indexed_stats);
+
+      EXPECT_EQ(scan.bounds, indexed.bounds);
+      EXPECT_EQ(scan.subsets, indexed.subsets);
+      EXPECT_EQ(scan.subset_of, indexed.subset_of);
+      EXPECT_EQ(scan.init_support, indexed.init_support);
+      EXPECT_EQ(scan_stats.bound_walk_buckets, 0u);
+      EXPECT_GT(indexed_stats.bound_walk_buckets, 0u);
+      EXPECT_EQ(scan_stats.sync_rounds, indexed_stats.sync_rounds);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoarseIndexWingSweep, ::testing::Bool());
+
+// ---------------------------------------------------------------------------
+// End-to-end: the coarse path choice never changes final numbers.
+// ---------------------------------------------------------------------------
+
+TEST(CoarseIndexEndToEndTest, TipNumbersMatchBupUnderEveryPath) {
+  const BipartiteGraph g = SweepGraph(/*skewed=*/true, 347u);
+  TipOptions bup_options;
+  const TipResult bup = BupDecompose(g, bup_options);
+
+  for (const bool use_index : {false, true}) {
+    for (const auto frontier_switch :
+         {FrontierSwitch::kFixedDensity, FrontierSwitch::kMeasuredCost}) {
+      TipOptions options;
+      options.num_threads = 3;
+      options.num_partitions = 7;
+      options.use_support_index = use_index;
+      options.frontier_switch = frontier_switch;
+      const TipResult r = ReceiptDecompose(g, options);
+      EXPECT_EQ(r.tip_numbers, bup.tip_numbers)
+          << "use_index " << use_index << " measured "
+          << (frontier_switch == FrontierSwitch::kMeasuredCost);
+    }
+  }
+}
+
+TEST(CoarseIndexEndToEndTest, WingNumbersMatchSequentialUnderEveryPath) {
+  const BipartiteGraph g = ChungLuBipartite(40, 30, 170, 0.6, 0.6, 353);
+  const WingResult sequential = WingDecompose(g, /*num_threads=*/1);
+
+  for (const bool use_index : {false, true}) {
+    for (const auto frontier_switch :
+         {FrontierSwitch::kFixedDensity, FrontierSwitch::kMeasuredCost}) {
+      ReceiptWingOptions options;
+      options.num_threads = 2;
+      options.num_partitions = 4;
+      options.use_support_index = use_index;
+      options.frontier_switch = frontier_switch;
+      const WingResult r = ReceiptWingDecompose(g, options);
+      EXPECT_EQ(r.wing_numbers, sequential.wing_numbers)
+          << "use_index " << use_index << " measured "
+          << (frontier_switch == FrontierSwitch::kMeasuredCost);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena residency: the index allocates nothing once warm.
+// ---------------------------------------------------------------------------
+
+TEST(CoarseIndexArenaTest, SupportIndexDoesNotGrowAfterWarmup) {
+  const BipartiteGraph g = SweepGraph(/*skewed=*/true, 359u);
+  engine::WorkspacePool pool;
+  TipOptions options;
+  options.num_threads = 2;
+  options.num_partitions = 6;
+
+  PeelStats warmup_stats;
+  const CdResult warm = ReceiptCd(g, options, pool, &warmup_stats);
+  const uint64_t growths_warm = pool.TotalGrowths();
+  EXPECT_GT(growths_warm, 0u);
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    PeelStats stats;
+    const CdResult again = ReceiptCd(g, options, pool, &stats);
+    ExpectSameRanges(warm, again);
+  }
+  EXPECT_EQ(pool.TotalGrowths(), growths_warm)
+      << "SupportIndex (or other pool scratch) grew after warmup";
+}
+
+}  // namespace
+}  // namespace receipt
