@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affiliation_hierarchy.dir/examples/affiliation_hierarchy.cpp.o"
+  "CMakeFiles/affiliation_hierarchy.dir/examples/affiliation_hierarchy.cpp.o.d"
+  "affiliation_hierarchy"
+  "affiliation_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affiliation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

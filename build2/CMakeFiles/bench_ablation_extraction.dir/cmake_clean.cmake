@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extraction.dir/bench/bench_ablation_extraction.cc.o"
+  "CMakeFiles/bench_ablation_extraction.dir/bench/bench_ablation_extraction.cc.o.d"
+  "bench_ablation_extraction"
+  "bench_ablation_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

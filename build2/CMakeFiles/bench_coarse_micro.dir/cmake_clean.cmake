@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coarse_micro.dir/bench/bench_coarse_micro.cc.o"
+  "CMakeFiles/bench_coarse_micro.dir/bench/bench_coarse_micro.cc.o.d"
+  "bench_coarse_micro"
+  "bench_coarse_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coarse_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

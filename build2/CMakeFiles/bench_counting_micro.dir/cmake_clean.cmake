@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counting_micro.dir/bench/bench_counting_micro.cc.o"
+  "CMakeFiles/bench_counting_micro.dir/bench/bench_counting_micro.cc.o.d"
+  "bench_counting_micro"
+  "bench_counting_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

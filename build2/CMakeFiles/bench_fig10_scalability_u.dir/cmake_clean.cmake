@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scalability_u.dir/bench/bench_fig10_scalability_u.cc.o"
+  "CMakeFiles/bench_fig10_scalability_u.dir/bench/bench_fig10_scalability_u.cc.o.d"
+  "bench_fig10_scalability_u"
+  "bench_fig10_scalability_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scalability_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

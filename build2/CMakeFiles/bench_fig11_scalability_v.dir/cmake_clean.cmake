@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scalability_v.dir/bench/bench_fig11_scalability_v.cc.o"
+  "CMakeFiles/bench_fig11_scalability_v.dir/bench/bench_fig11_scalability_v.cc.o.d"
+  "bench_fig11_scalability_v"
+  "bench_fig11_scalability_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scalability_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_partitions.dir/bench/bench_fig5_partitions.cc.o"
+  "CMakeFiles/bench_fig5_partitions.dir/bench/bench_fig5_partitions.cc.o.d"
+  "bench_fig5_partitions"
+  "bench_fig5_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_optimizations_wedges.dir/bench/bench_fig6_optimizations_wedges.cc.o"
+  "CMakeFiles/bench_fig6_optimizations_wedges.dir/bench/bench_fig6_optimizations_wedges.cc.o.d"
+  "bench_fig6_optimizations_wedges"
+  "bench_fig6_optimizations_wedges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_optimizations_wedges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_time_breakup.dir/bench/bench_fig9_time_breakup.cc.o"
+  "CMakeFiles/bench_fig9_time_breakup.dir/bench/bench_fig9_time_breakup.cc.o.d"
+  "bench_fig9_time_breakup"
+  "bench_fig9_time_breakup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_time_breakup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

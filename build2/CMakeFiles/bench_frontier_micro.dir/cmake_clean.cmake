@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontier_micro.dir/bench/bench_frontier_micro.cc.o"
+  "CMakeFiles/bench_frontier_micro.dir/bench/bench_frontier_micro.cc.o.d"
+  "bench_frontier_micro"
+  "bench_frontier_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontier_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wing_extension.dir/bench/bench_wing_extension.cc.o"
+  "CMakeFiles/bench_wing_extension.dir/bench/bench_wing_extension.cc.o.d"
+  "bench_wing_extension"
+  "bench_wing_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wing_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

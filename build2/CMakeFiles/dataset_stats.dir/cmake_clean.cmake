@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_stats.dir/examples/dataset_stats.cpp.o"
+  "CMakeFiles/dataset_stats.dir/examples/dataset_stats.cpp.o.d"
+  "dataset_stats"
+  "dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_demo.dir/examples/decompose_demo.cc.o"
+  "CMakeFiles/decompose_demo.dir/examples/decompose_demo.cc.o.d"
+  "decompose_demo"
+  "decompose_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

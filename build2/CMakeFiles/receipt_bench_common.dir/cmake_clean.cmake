@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipt_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/receipt_bench_common.dir/bench/bench_common.cc.o.d"
+  "libreceipt_bench_common.a"
+  "libreceipt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

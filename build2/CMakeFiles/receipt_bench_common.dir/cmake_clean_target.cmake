@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreceipt_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipt_cli.dir/examples/receipt_cli.cpp.o"
+  "CMakeFiles/receipt_cli.dir/examples/receipt_cli.cpp.o.d"
+  "receipt_cli"
+  "receipt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

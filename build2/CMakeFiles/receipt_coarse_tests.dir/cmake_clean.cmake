@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipt_coarse_tests.dir/tests/coarse_index_test.cc.o"
+  "CMakeFiles/receipt_coarse_tests.dir/tests/coarse_index_test.cc.o.d"
+  "receipt_coarse_tests"
+  "receipt_coarse_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipt_coarse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

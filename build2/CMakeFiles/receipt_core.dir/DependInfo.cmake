@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/butterfly/approx_count.cc" "CMakeFiles/receipt_core.dir/src/butterfly/approx_count.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/butterfly/approx_count.cc.o.d"
+  "/root/repo/src/butterfly/butterfly_count.cc" "CMakeFiles/receipt_core.dir/src/butterfly/butterfly_count.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/butterfly/butterfly_count.cc.o.d"
+  "/root/repo/src/engine/bucket.cc" "CMakeFiles/receipt_core.dir/src/engine/bucket.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/bucket.cc.o.d"
+  "/root/repo/src/engine/counting.cc" "CMakeFiles/receipt_core.dir/src/engine/counting.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/counting.cc.o.d"
+  "/root/repo/src/engine/graph_maintenance.cc" "CMakeFiles/receipt_core.dir/src/engine/graph_maintenance.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/graph_maintenance.cc.o.d"
+  "/root/repo/src/engine/peel_kernels.cc" "CMakeFiles/receipt_core.dir/src/engine/peel_kernels.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/peel_kernels.cc.o.d"
+  "/root/repo/src/engine/support_index.cc" "CMakeFiles/receipt_core.dir/src/engine/support_index.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/support_index.cc.o.d"
+  "/root/repo/src/engine/workspace.cc" "CMakeFiles/receipt_core.dir/src/engine/workspace.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/engine/workspace.cc.o.d"
+  "/root/repo/src/graph/bipartite_graph.cc" "CMakeFiles/receipt_core.dir/src/graph/bipartite_graph.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "CMakeFiles/receipt_core.dir/src/graph/dynamic_graph.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/receipt_core.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/receipt_core.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/induced_subgraph.cc" "CMakeFiles/receipt_core.dir/src/graph/induced_subgraph.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/graph/induced_subgraph.cc.o.d"
+  "/root/repo/src/service/decomposition_service.cc" "CMakeFiles/receipt_core.dir/src/service/decomposition_service.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/service/decomposition_service.cc.o.d"
+  "/root/repo/src/service/graph_registry.cc" "CMakeFiles/receipt_core.dir/src/service/graph_registry.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/service/graph_registry.cc.o.d"
+  "/root/repo/src/service/result_cache.cc" "CMakeFiles/receipt_core.dir/src/service/result_cache.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/service/result_cache.cc.o.d"
+  "/root/repo/src/tip/bup.cc" "CMakeFiles/receipt_core.dir/src/tip/bup.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/bup.cc.o.d"
+  "/root/repo/src/tip/parb.cc" "CMakeFiles/receipt_core.dir/src/tip/parb.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/parb.cc.o.d"
+  "/root/repo/src/tip/receipt.cc" "CMakeFiles/receipt_core.dir/src/tip/receipt.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/receipt.cc.o.d"
+  "/root/repo/src/tip/receipt_cd.cc" "CMakeFiles/receipt_core.dir/src/tip/receipt_cd.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/receipt_cd.cc.o.d"
+  "/root/repo/src/tip/receipt_fd.cc" "CMakeFiles/receipt_core.dir/src/tip/receipt_fd.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/receipt_fd.cc.o.d"
+  "/root/repo/src/tip/tip_hierarchy.cc" "CMakeFiles/receipt_core.dir/src/tip/tip_hierarchy.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/tip/tip_hierarchy.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/receipt_core.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/wing/edge_topology.cc" "CMakeFiles/receipt_core.dir/src/wing/edge_topology.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/wing/edge_topology.cc.o.d"
+  "/root/repo/src/wing/receipt_wing.cc" "CMakeFiles/receipt_core.dir/src/wing/receipt_wing.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/wing/receipt_wing.cc.o.d"
+  "/root/repo/src/wing/wing_decomposition.cc" "CMakeFiles/receipt_core.dir/src/wing/wing_decomposition.cc.o" "gcc" "CMakeFiles/receipt_core.dir/src/wing/wing_decomposition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipt_frontier_tests.dir/tests/engine_equivalence_test.cc.o"
+  "CMakeFiles/receipt_frontier_tests.dir/tests/engine_equivalence_test.cc.o.d"
+  "CMakeFiles/receipt_frontier_tests.dir/tests/frontier_scheduling_test.cc.o"
+  "CMakeFiles/receipt_frontier_tests.dir/tests/frontier_scheduling_test.cc.o.d"
+  "receipt_frontier_tests"
+  "receipt_frontier_tests.pdb"
+  "receipt_frontier_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipt_frontier_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for receipt_frontier_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/approx_count_test.cc" "CMakeFiles/receipt_tests.dir/tests/approx_count_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/approx_count_test.cc.o.d"
+  "/root/repo/tests/bipartite_graph_test.cc" "CMakeFiles/receipt_tests.dir/tests/bipartite_graph_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/bipartite_graph_test.cc.o.d"
+  "/root/repo/tests/bucket_test.cc" "CMakeFiles/receipt_tests.dir/tests/bucket_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/bucket_test.cc.o.d"
+  "/root/repo/tests/bup_test.cc" "CMakeFiles/receipt_tests.dir/tests/bup_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/bup_test.cc.o.d"
+  "/root/repo/tests/butterfly_count_test.cc" "CMakeFiles/receipt_tests.dir/tests/butterfly_count_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/butterfly_count_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "CMakeFiles/receipt_tests.dir/tests/determinism_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/determinism_test.cc.o.d"
+  "/root/repo/tests/dynamic_graph_test.cc" "CMakeFiles/receipt_tests.dir/tests/dynamic_graph_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/dynamic_graph_test.cc.o.d"
+  "/root/repo/tests/edge_topology_test.cc" "CMakeFiles/receipt_tests.dir/tests/edge_topology_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/edge_topology_test.cc.o.d"
+  "/root/repo/tests/engine_workspace_test.cc" "CMakeFiles/receipt_tests.dir/tests/engine_workspace_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/engine_workspace_test.cc.o.d"
+  "/root/repo/tests/extraction_test.cc" "CMakeFiles/receipt_tests.dir/tests/extraction_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/extraction_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "CMakeFiles/receipt_tests.dir/tests/generators_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/generators_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "CMakeFiles/receipt_tests.dir/tests/graph_io_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/graph_io_test.cc.o.d"
+  "/root/repo/tests/induced_subgraph_test.cc" "CMakeFiles/receipt_tests.dir/tests/induced_subgraph_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/induced_subgraph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/receipt_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/min_heap_test.cc" "CMakeFiles/receipt_tests.dir/tests/min_heap_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/min_heap_test.cc.o.d"
+  "/root/repo/tests/pairing_heap_test.cc" "CMakeFiles/receipt_tests.dir/tests/pairing_heap_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/pairing_heap_test.cc.o.d"
+  "/root/repo/tests/parallel_util_test.cc" "CMakeFiles/receipt_tests.dir/tests/parallel_util_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/parallel_util_test.cc.o.d"
+  "/root/repo/tests/parb_test.cc" "CMakeFiles/receipt_tests.dir/tests/parb_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/parb_test.cc.o.d"
+  "/root/repo/tests/peel_update_test.cc" "CMakeFiles/receipt_tests.dir/tests/peel_update_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/peel_update_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "CMakeFiles/receipt_tests.dir/tests/pipeline_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/pipeline_test.cc.o.d"
+  "/root/repo/tests/range_bound_test.cc" "CMakeFiles/receipt_tests.dir/tests/range_bound_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/range_bound_test.cc.o.d"
+  "/root/repo/tests/receipt_cd_test.cc" "CMakeFiles/receipt_tests.dir/tests/receipt_cd_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/receipt_cd_test.cc.o.d"
+  "/root/repo/tests/receipt_fd_test.cc" "CMakeFiles/receipt_tests.dir/tests/receipt_fd_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/receipt_fd_test.cc.o.d"
+  "/root/repo/tests/receipt_test.cc" "CMakeFiles/receipt_tests.dir/tests/receipt_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/receipt_test.cc.o.d"
+  "/root/repo/tests/receipt_wing_test.cc" "CMakeFiles/receipt_tests.dir/tests/receipt_wing_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/receipt_wing_test.cc.o.d"
+  "/root/repo/tests/service_test.cc" "CMakeFiles/receipt_tests.dir/tests/service_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/service_test.cc.o.d"
+  "/root/repo/tests/tip_hierarchy_test.cc" "CMakeFiles/receipt_tests.dir/tests/tip_hierarchy_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/tip_hierarchy_test.cc.o.d"
+  "/root/repo/tests/wing_test.cc" "CMakeFiles/receipt_tests.dir/tests/wing_test.cc.o" "gcc" "CMakeFiles/receipt_tests.dir/tests/wing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/CMakeFiles/receipt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_review_detection.dir/examples/spam_review_detection.cpp.o"
+  "CMakeFiles/spam_review_detection.dir/examples/spam_review_detection.cpp.o.d"
+  "spam_review_detection"
+  "spam_review_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_review_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/receipt_tests[1]_include.cmake")
+include("/root/repo/build2/receipt_frontier_tests[1]_include.cmake")
+add_test([=[receipt_coarse_tests]=] "/root/repo/build2/receipt_coarse_tests")
+set_tests_properties([=[receipt_coarse_tests]=] PROPERTIES  LABELS "frontier;coarse" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;116;add_test;/root/repo/CMakeLists.txt;0;")
