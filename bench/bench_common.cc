@@ -4,7 +4,8 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <sstream>
+
+#include "util/json.h"
 
 namespace receipt::bench {
 namespace {
@@ -166,54 +167,31 @@ void AppendPeelStats(const PeelStats& stats, JsonRecord* record) {
   record->values.emplace_back("seconds_total", stats.seconds_total);
 }
 
-namespace {
-
-void AppendJsonString(std::ostringstream& os, const std::string& text) {
-  os << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
-
 bool WriteBenchJson(const std::string& path, const std::string& bench,
                     const std::vector<JsonRecord>& records) {
-  std::ostringstream os;
-  os << "{\n  \"bench\": ";
-  AppendJsonString(os, bench);
-  os << ",\n  \"records\": [";
-  for (size_t i = 0; i < records.size(); ++i) {
-    const JsonRecord& record = records[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
-    AppendJsonString(os, record.name);
+  // Rides the shared util::JsonWriter (the same writer the HTTP front-end
+  // serializes responses with), so escaping and number formatting are
+  // identical across every JSON byte the repo emits.
+  util::JsonWriter writer;
+  writer.BeginObject().Key("bench").String(bench).Key("records").BeginArray();
+  for (const JsonRecord& record : records) {
+    writer.BeginObject().Key("name").String(record.name);
     for (const auto& [key, value] : record.counters) {
-      os << ", ";
-      AppendJsonString(os, key);
-      os << ": " << value;
+      writer.Key(key).Uint(value);
     }
-    os.precision(9);
     for (const auto& [key, value] : record.values) {
-      os << ", ";
-      AppendJsonString(os, key);
-      os << ": " << value;
+      writer.Key(key).Double(value);
     }
-    os << "}";
+    writer.EndObject();
   }
-  os << "\n  ]\n}\n";
+  writer.EndArray().EndObject();
 
   std::ofstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot write JSON output to %s\n", path.c_str());
     return false;
   }
-  file << os.str();
+  file << writer.str() << "\n";
   return static_cast<bool>(file);
 }
 

@@ -9,11 +9,19 @@
 //   receipt_cli wing     --dataset it --parallel --partitions 8
 //   receipt_cli serve    --graphs g1=a.konect,g2=b.bin --workers 2 \
 //                        --clients 4 --requests 24 --threads 2
+//   receipt_cli serve    --http-port 8080 --datasets it,de --workers 2
+//
+// With --http-port, serve exposes the service as HTTP/JSON endpoints
+// (POST /v1/decompose, GET/POST /v1/graphs, /healthz, /statz) and runs
+// until SIGINT/SIGTERM, then drains gracefully.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO failures.
 
+#include <csignal>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +35,8 @@
 #include <vector>
 
 #include "receipt/receipt_lib.h"
+#include "server/decomposition_http.h"
+#include "server/http_server.h"
 #include "util/timer.h"
 
 namespace {
@@ -88,7 +98,10 @@ int Usage() {
       "            [--threads T] [--partitions P] [--output FILE]\n"
       "  serve     --graphs NAME=FILE[,NAME=FILE...] | --datasets it,de,...\n"
       "            [--workers W] [--clients C] [--requests N] [--threads T]\n"
-      "            [--partitions P] [--cache-mb MB]\n");
+      "            [--partitions P] [--cache-mb MB] [--queue-capacity N]\n"
+      "            [--http-port PORT] [--http-threads N]\n"
+      "            (--http-port serves HTTP/JSON until SIGINT/SIGTERM;\n"
+      "             graphs may also be registered later via POST /v1/graphs)\n");
   return 1;
 }
 
@@ -274,6 +287,75 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
   return items;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void OnStopSignal(int) { g_stop_requested = 1; }
+
+// serve --http-port: expose the service over HTTP/JSON and run until
+// SIGINT/SIGTERM. Shutdown order matters: the HTTP server drains first
+// (handlers can still resolve futures against a live service), then the
+// service drains its own queue.
+int ServeHttp(const Args& args, service::GraphRegistry& registry,
+              service::DecompositionService& service) {
+  const int64_t port = args.GetInt("http-port", 8080);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "--http-port must be in [1, 65535], got %lld\n",
+                 static_cast<long long>(port));
+    return 1;
+  }
+  server::HttpServerOptions http_options;
+  http_options.port = static_cast<uint16_t>(port);
+  http_options.num_threads =
+      static_cast<int>(args.GetInt("http-threads", 4));
+  server::HttpServer http_server(http_options);
+  server::DecompositionHttpFrontend frontend(registry, service, http_server);
+
+  std::string error;
+  if (!http_server.Start(&error)) {
+    std::fprintf(stderr, "failed to start HTTP server: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("listening on http://%s:%u (POST /v1/decompose, "
+              "GET|POST /v1/graphs, GET /healthz, GET /statz)\n",
+              http_options.bind_address.c_str(), http_server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("signal received: draining\n");
+
+  http_server.Stop();
+  service.Shutdown(/*drain=*/true);
+
+  const server::HttpServer::Stats http = http_server.stats();
+  const server::DecompositionHttpFrontend::Stats fe = frontend.stats();
+  const service::DecompositionService::Stats stats = service.stats();
+  std::printf(
+      "http: connections=%llu requests=%llu 2xx=%llu 4xx=%llu 5xx=%llu "
+      "busy_429=%llu disconnect_cancels=%llu\n",
+      static_cast<unsigned long long>(http.connections_accepted),
+      static_cast<unsigned long long>(http.requests),
+      static_cast<unsigned long long>(http.responses_2xx),
+      static_cast<unsigned long long>(http.responses_4xx),
+      static_cast<unsigned long long>(http.responses_5xx),
+      static_cast<unsigned long long>(fe.rejected_busy),
+      static_cast<unsigned long long>(fe.disconnect_cancels));
+  std::printf(
+      "service: submitted=%llu engine_runs=%llu cache_hits=%llu "
+      "coalesced=%llu cancelled=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.engine_runs),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.cancelled));
+  std::printf("workspace growths (all worker pools): %llu\n",
+              static_cast<unsigned long long>(service.WorkspaceGrowths()));
+  return 0;
+}
+
 // serve: register graphs in a GraphRegistry and drive a DecompositionService
 // with a mixed tip/wing workload from concurrent clients. Each unique request
 // that reaches the engine prints the same PeelStats block as the one-shot
@@ -309,7 +391,7 @@ int CmdServe(const Args& args) {
     registry.Register(name, MakePaperAnalogue(name));
   }
   const std::vector<std::string> names = registry.Names();
-  if (names.empty()) {
+  if (names.empty() && !args.Has("http-port")) {
     std::fprintf(stderr, "need --graphs NAME=FILE,... or --datasets A,B\n");
     return 1;
   }
@@ -323,9 +405,27 @@ int CmdServe(const Args& args) {
 
   service::ServiceOptions service_options;
   service_options.num_workers = static_cast<int>(args.GetInt("workers", 2));
+  // HTTP handlers wait on request futures; with no service workers nothing
+  // would ever resolve them (no RunQueuedInline caller exists in serve
+  // mode) and every decompose would hang until client disconnect.
+  if (args.Has("http-port") && service_options.num_workers < 1) {
+    std::fprintf(stderr, "--http-port requires --workers >= 1; using 1\n");
+    service_options.num_workers = 1;
+  }
   service_options.cache_bytes =
       static_cast<size_t>(args.GetInt("cache-mb", 64)) << 20;
+  const int64_t queue_capacity = args.GetInt(
+      "queue-capacity", static_cast<int64_t>(service_options.queue_capacity));
+  if (queue_capacity < 1 || queue_capacity > (int64_t{1} << 20)) {
+    std::fprintf(stderr, "--queue-capacity must be in [1, %lld], got %lld\n",
+                 static_cast<long long>(int64_t{1} << 20),
+                 static_cast<long long>(queue_capacity));
+    return 1;
+  }
+  service_options.queue_capacity = static_cast<size_t>(queue_capacity);
   service::DecompositionService service(registry, service_options);
+
+  if (args.Has("http-port")) return ServeHttp(args, registry, service);
 
   const int clients = static_cast<int>(args.GetInt("clients", 2));
   const int total_requests = static_cast<int>(args.GetInt("requests", 12));

@@ -16,6 +16,10 @@
 ///                       the serving layer: resident multi-graph registry,
 ///                       batched+coalesced request execution over pooled
 ///                       workspaces, LRU result caching
+///   HttpServer / DecompositionHttpFrontend
+///                       the network front-end: HTTP/1.1 + JSON endpoints
+///                       over the serving layer (examples/receipt_cli.cpp
+///                       `serve --http-port`)
 
 #include "butterfly/approx_count.h"
 #include "butterfly/butterfly_count.h"
@@ -25,6 +29,8 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/induced_subgraph.h"
+#include "server/decomposition_http.h"
+#include "server/http_server.h"
 #include "service/decomposition_service.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"

@@ -1,0 +1,285 @@
+#include "server/decomposition_http.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "graph/generators.h"
+#include "util/json.h"
+
+namespace receipt::server {
+
+namespace {
+
+using service::Request;
+using service::Response;
+using service::Status;
+
+HttpResponse JsonError(int status, const std::string& message) {
+  util::JsonWriter writer;
+  writer.BeginObject()
+      .Key("status").String("error")
+      .Key("error").String(message)
+      .EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.Take();
+  return response;
+}
+
+/// Service terminal status → HTTP status. Cancellation surfaces as 499
+/// (client-closed-request): the only cancels a connected client can see are
+/// non-drain shutdown races.
+int HttpStatusFor(Status status) {
+  switch (status) {
+    case Status::kOk: return 200;
+    case Status::kNotFound: return 404;
+    case Status::kBadRequest: return 400;
+    case Status::kCancelled: return 499;
+    case Status::kShutdown: return 503;
+  }
+  return 500;
+}
+
+/// The one description of a resident graph both /v1/graphs responses share.
+void WriteGraphInfo(const std::string& name,
+                    const service::GraphHandle& handle,
+                    util::JsonWriter* writer) {
+  writer->Key("name").String(name)
+      .Key("epoch").Uint(handle.epoch())
+      .Key("num_u").Uint(handle.graph().num_u())
+      .Key("num_v").Uint(handle.graph().num_v())
+      .Key("num_edges").Uint(handle.graph().num_edges());
+}
+
+}  // namespace
+
+DecompositionHttpFrontend::DecompositionHttpFrontend(
+    service::GraphRegistry& registry, service::DecompositionService& service,
+    HttpServer& server)
+    : registry_(&registry), service_(&service), server_(&server) {
+  server.Handle("POST", "/v1/decompose",
+                [this](const HttpRequest& r) { return HandleDecompose(r); });
+  server.Handle("GET", "/v1/graphs",
+                [this](const HttpRequest& r) { return HandleListGraphs(r); });
+  server.Handle("POST", "/v1/graphs", [this](const HttpRequest& r) {
+    return HandleRegisterGraph(r);
+  });
+  server.Handle("GET", "/healthz",
+                [this](const HttpRequest& r) { return HandleHealthz(r); });
+  server.Handle("GET", "/statz",
+                [this](const HttpRequest& r) { return HandleStatz(r); });
+}
+
+HttpResponse DecompositionHttpFrontend::HandleDecompose(
+    const HttpRequest& http_request) {
+  decompose_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string error;
+  const auto json = util::JsonValue::Parse(http_request.body, &error);
+  if (!json) return JsonError(400, "malformed JSON: " + error);
+  Request request;
+  if (!service::RequestFromJson(*json, &request, &error)) {
+    return JsonError(400, error);
+  }
+
+  auto ticket = service_->TrySubmitTicket(request);
+  if (!ticket) {
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse busy = JsonError(429, "request queue is full");
+    busy.extra_headers.emplace_back("Retry-After", "1");
+    return busy;
+  }
+
+  // Wait for the engine, watching the socket: a client that hangs up stops
+  // paying for the answer, so withdraw this submitter's interest (the
+  // service cancels the run once no coalesced twin remains).
+  const std::shared_future<Response>& future = ticket->future();
+  for (;;) {
+    if (future.wait_for(std::chrono::milliseconds(20)) ==
+        std::future_status::ready) {
+      break;
+    }
+    if (http_request.ClientDisconnected()) {
+      disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+      service_->Abandon(*ticket);
+      // 499 is written into a dead socket — harmless — but keeps the
+      // response path uniform and the stats honest.
+      return JsonError(499, "client disconnected; request abandoned");
+    }
+  }
+
+  const Response response = future.get();
+  util::JsonWriter writer;
+  service::WriteResponseJson(request, response, &writer);
+  HttpResponse http_response;
+  http_response.status = HttpStatusFor(response.status);
+  http_response.body = writer.Take();
+  return http_response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleListGraphs(const HttpRequest&) {
+  util::JsonWriter writer;
+  writer.BeginObject().Key("graphs").BeginArray();
+  for (const std::string& name : registry_->Names()) {
+    const service::GraphHandle handle = registry_->Acquire(name);
+    if (!handle) continue;  // evicted between Names() and Acquire()
+    writer.BeginObject();
+    WriteGraphInfo(name, handle, &writer);
+    writer.EndObject();
+  }
+  writer.EndArray().EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
+    const HttpRequest& http_request) {
+  std::string error;
+  const auto json = util::JsonValue::Parse(http_request.body, &error);
+  if (!json) return JsonError(400, "malformed JSON: " + error);
+  if (!json->IsObject()) {
+    return JsonError(400, "request body must be a JSON object");
+  }
+
+  std::string name;
+  if (!json->GetString("name", &name) || name.empty()) {
+    return JsonError(400, "missing required string field 'name'");
+  }
+  std::string path;
+  std::string dataset;
+  const bool has_path = json->GetString("path", &path);
+  const bool has_dataset = json->GetString("dataset", &dataset);
+  if (has_path == has_dataset) {
+    return JsonError(400, "provide exactly one of 'path' or 'dataset'");
+  }
+
+  if (has_path) {
+    if (!registry_->LoadFile(name, path, &error)) {
+      return JsonError(400, error);
+    }
+  } else {
+    const std::vector<std::string>& names = PaperAnalogueNames();
+    if (std::find(names.begin(), names.end(), dataset) == names.end()) {
+      return JsonError(400, "unknown dataset '" + dataset + "'");
+    }
+    registry_->Register(name, MakePaperAnalogue(dataset));
+  }
+  graphs_registered_.fetch_add(1, std::memory_order_relaxed);
+
+  const service::GraphHandle handle = registry_->Acquire(name);
+  if (!handle) {
+    // A concurrent Evict between Register and Acquire: the registration
+    // happened, but there is no entry left to describe.
+    return JsonError(404, "graph '" + name + "' was evicted concurrently");
+  }
+  util::JsonWriter writer;
+  writer.BeginObject().Key("status").String("ok");
+  WriteGraphInfo(name, handle, &writer);
+  writer.EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleHealthz(const HttpRequest&) {
+  util::JsonWriter writer;
+  writer.BeginObject()
+      .Key("status").String("ok")
+      .Key("graphs").Uint(registry_->size())
+      .EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
+  const service::DecompositionService::Stats service_stats =
+      service_->stats();
+  const service::ResultCache::Stats cache = service_->cache_stats();
+  const HttpServer::Stats http = server_->stats();
+  const size_t workers = static_cast<size_t>(service_->num_workers());
+  const size_t idle = std::min(service_->IdleWorkers(), workers);
+  const uint64_t cache_lookups = cache.hits + cache.misses;
+
+  util::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("queue")
+      .BeginObject()
+      .Key("depth").Uint(service_->QueueDepth())
+      .Key("capacity").Uint(service_->queue_capacity())
+      .EndObject();
+  writer.Key("workers")
+      .BeginObject()
+      .Key("total").Uint(workers)
+      .Key("idle").Uint(idle)
+      .Key("busy").Uint(workers - idle)
+      .EndObject();
+  writer.Key("requests")
+      .BeginObject()
+      .Key("submitted").Uint(service_stats.submitted)
+      .Key("completed").Uint(service_stats.completed)
+      .Key("engine_runs").Uint(service_stats.engine_runs)
+      .Key("cache_hits").Uint(service_stats.cache_hits)
+      .Key("coalesced").Uint(service_stats.coalesced)
+      .Key("batched_follow_ons").Uint(service_stats.batched_follow_ons)
+      .Key("cancelled").Uint(service_stats.cancelled)
+      .Key("abandoned").Uint(service_stats.abandoned)
+      .EndObject();
+  writer.Key("cache")
+      .BeginObject()
+      .Key("entries").Uint(cache.entries)
+      .Key("bytes").Uint(cache.bytes)
+      .Key("hits").Uint(cache.hits)
+      .Key("misses").Uint(cache.misses)
+      .Key("insertions").Uint(cache.insertions)
+      .Key("evictions").Uint(cache.evictions)
+      .Key("hit_rate")
+      .Double(cache_lookups == 0
+                  ? 0.0
+                  : static_cast<double>(cache.hits) /
+                        static_cast<double>(cache_lookups))
+      .EndObject();
+  writer.Key("http")
+      .BeginObject()
+      .Key("connections_accepted").Uint(http.connections_accepted)
+      .Key("connections_rejected").Uint(http.connections_rejected)
+      .Key("requests").Uint(http.requests)
+      .Key("responses_2xx").Uint(http.responses_2xx)
+      .Key("responses_4xx").Uint(http.responses_4xx)
+      .Key("responses_5xx").Uint(http.responses_5xx)
+      .Key("parse_failures").Uint(http.parse_failures)
+      .Key("decompose_requests")
+      .Uint(decompose_requests_.load(std::memory_order_relaxed))
+      .Key("rejected_busy")
+      .Uint(rejected_busy_.load(std::memory_order_relaxed))
+      .Key("disconnect_cancels")
+      .Uint(disconnect_cancels_.load(std::memory_order_relaxed))
+      .Key("graphs_registered")
+      .Uint(graphs_registered_.load(std::memory_order_relaxed))
+      .EndObject();
+  // WorkspaceGrowths() is deliberately absent: its counters are plain
+  // per-pool integers only safe to read while no request executes, which
+  // /statz cannot guarantee. The CLI prints it after Shutdown instead.
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+DecompositionHttpFrontend::Stats DecompositionHttpFrontend::stats() const {
+  Stats stats;
+  stats.decompose_requests =
+      decompose_requests_.load(std::memory_order_relaxed);
+  stats.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  stats.disconnect_cancels =
+      disconnect_cancels_.load(std::memory_order_relaxed);
+  stats.graphs_registered = graphs_registered_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace receipt::server

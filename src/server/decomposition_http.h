@@ -1,0 +1,64 @@
+#ifndef RECEIPT_SERVER_DECOMPOSITION_HTTP_H_
+#define RECEIPT_SERVER_DECOMPOSITION_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/http_server.h"
+#include "service/decomposition_service.h"
+#include "service/graph_registry.h"
+
+namespace receipt::server {
+
+/// The JSON endpoint surface over GraphRegistry + DecompositionService —
+/// the piece that turns the in-process serving layer into a network
+/// service. Registers its routes on an HttpServer; the caller owns all
+/// three objects and starts/stops the server (stop the HTTP server first,
+/// then shut the service down, so draining handlers can still resolve
+/// their futures).
+///
+///   POST /v1/decompose   run (or cache-serve) a decomposition
+///   GET  /v1/graphs      list resident graphs
+///   POST /v1/graphs      register/load a graph (re-register bumps epoch)
+///   GET  /healthz        liveness
+///   GET  /statz          queue depth, cache hit rate, worker utilization
+///
+/// Admission control: a full service queue turns into HTTP 429 (ticketed
+/// non-blocking submit — handler threads never block on backpressure), and
+/// a client that disconnects mid-decomposition abandons its ticket, which
+/// cancels the engine run through PeelControl once no coalesced twin still
+/// wants the result.
+class DecompositionHttpFrontend {
+ public:
+  DecompositionHttpFrontend(service::GraphRegistry& registry,
+                            service::DecompositionService& service,
+                            HttpServer& server);
+
+  struct Stats {
+    uint64_t decompose_requests = 0;
+    uint64_t rejected_busy = 0;       ///< 429s from queue admission
+    uint64_t disconnect_cancels = 0;  ///< tickets abandoned on disconnect
+    uint64_t graphs_registered = 0;
+  };
+  Stats stats() const;
+
+ private:
+  HttpResponse HandleDecompose(const HttpRequest& request);
+  HttpResponse HandleListGraphs(const HttpRequest& request);
+  HttpResponse HandleRegisterGraph(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleStatz(const HttpRequest& request);
+
+  service::GraphRegistry* registry_;
+  service::DecompositionService* service_;
+  HttpServer* server_;
+
+  std::atomic<uint64_t> decompose_requests_{0};
+  std::atomic<uint64_t> rejected_busy_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> graphs_registered_{0};
+};
+
+}  // namespace receipt::server
+
+#endif  // RECEIPT_SERVER_DECOMPOSITION_HTTP_H_

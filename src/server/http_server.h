@@ -1,0 +1,140 @@
+#ifndef RECEIPT_SERVER_HTTP_SERVER_H_
+#define RECEIPT_SERVER_HTTP_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace receipt::server {
+
+/// Transport tuning. Defaults are sized for the CI/test environment: a
+/// handful of handler threads, loopback binding, conservative caps so a
+/// malformed or hostile client cannot exhaust the process.
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Connection handler threads. Each serves one connection at a time, so
+  /// this bounds HTTP-level concurrency; decomposition concurrency stays
+  /// bounded separately by the service's worker pool and queue.
+  int num_threads = 4;
+  int listen_backlog = 64;
+  /// Accepted connections waiting for a free handler thread. Overflow is
+  /// answered 503 immediately — transport-level admission control, before
+  /// the service queue's 429 even comes into play.
+  size_t max_pending_connections = 64;
+  size_t max_header_bytes = size_t{64} << 10;
+  size_t max_body_bytes = size_t{8} << 20;
+  /// recv timeout per socket read; a stalled client costs a handler thread
+  /// at most this long per read before the request is failed with 408.
+  int recv_timeout_ms = 10000;
+  /// send timeout per socket write: a client that stops reading (full
+  /// socket buffer) gets its connection dropped instead of wedging a
+  /// handler thread — and with it Stop()'s join — forever.
+  int send_timeout_ms = 10000;
+};
+
+/// One parsed HTTP/1.1 request as delivered to a handler.
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "POST"
+  std::string path;    ///< target with any ?query stripped
+  std::string query;   ///< raw query string (no '?'), possibly empty
+  std::string body;
+  /// Header fields with lower-cased names (HTTP headers are
+  /// case-insensitive; values are left verbatim).
+  std::map<std::string, std::string> headers;
+
+  /// True once the client has closed (or half-closed) its socket. Long
+  /// handlers poll this to map client disconnect onto request cancellation.
+  /// Peeks without consuming, so pipelined bytes are unaffected.
+  bool ClientDisconnected() const;
+
+  int client_fd = -1;  ///< owned by the server, valid during the handler
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// A small dependency-free HTTP/1.1 server over POSIX sockets: one blocking
+/// accept loop feeding a bounded queue of accepted connections, drained by a
+/// fixed pool of handler threads (one connection per request, Connection:
+/// close — serving-system front-end simplicity over keep-alive throughput).
+/// Routes are exact (method, path) matches registered before Start().
+///
+/// Shutdown is graceful by construction: Stop() closes the listening socket
+/// (no new connections), then handler threads drain every already-accepted
+/// connection to a complete response before joining. In-flight requests are
+/// never truncated mid-response.
+class HttpServer {
+ public:
+  explicit HttpServer(const HttpServerOptions& options = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact (method, path). Must precede Start().
+  void Handle(const std::string& method, const std::string& path,
+              HttpHandler handler);
+
+  /// Binds, listens and spawns the accept/handler threads. Returns false
+  /// with *error set when the socket cannot be bound.
+  bool Start(std::string* error = nullptr);
+
+  /// Graceful shutdown: stop accepting, drain accepted connections, join
+  /// all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  ///< pending-queue overflow → 503
+    uint64_t requests = 0;              ///< requests parsed and dispatched
+    uint64_t responses_2xx = 0;
+    uint64_t responses_4xx = 0;
+    uint64_t responses_5xx = 0;
+    uint64_t parse_failures = 0;        ///< malformed/oversized/timed out
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+  void WriteResponse(int fd, const HttpResponse& response);
+  void CountResponse(int status);
+
+  const HttpServerOptions options_;
+  std::map<std::string, std::map<std::string, HttpHandler>> routes_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a handler thread
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+};
+
+}  // namespace receipt::server
+
+#endif  // RECEIPT_SERVER_HTTP_SERVER_H_

@@ -60,6 +60,30 @@ std::optional<std::shared_future<Response>> DecompositionService::TrySubmit(
   return future;
 }
 
+std::optional<DecompositionService::Ticket>
+DecompositionService::TrySubmitTicket(const Request& request) {
+  bool would_block = false;
+  std::shared_ptr<Task> task;
+  Ticket ticket;
+  ticket.future_ = SubmitImpl(request, /*may_block=*/false, &would_block,
+                              &task);
+  if (would_block) return std::nullopt;
+  ticket.task_ = task;
+  return ticket;
+}
+
+void DecompositionService::Abandon(Ticket& ticket) {
+  const auto task = ticket.task_.lock();
+  ticket.task_.reset();  // a second Abandon on this ticket is a no-op
+  if (task == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++task->abandoned;
+  ++stats_.abandoned;
+  // Interest = the original ticketed submitter + every coalesced twin.
+  // The run is only cancelled once nobody is left to read the result.
+  if (task->abandoned > task->extra_submitters) task->control.RequestCancel();
+}
+
 Response DecompositionService::Execute(const Request& request) {
   // Without background workers only this thread can drain the queue, so a
   // blocking Submit against a full queue would deadlock. Use the
@@ -77,7 +101,8 @@ Response DecompositionService::Execute(const Request& request) {
 }
 
 std::shared_future<Response> DecompositionService::SubmitImpl(
-    const Request& request, bool may_block, bool* would_block) {
+    const Request& request, bool may_block, bool* would_block,
+    std::shared_ptr<Task>* out_task) {
   Response rejection;
   if ((request.kind == RequestKind::kWing) !=
       IsWingAlgorithm(request.algorithm)) {
@@ -131,12 +156,16 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
       return ReadyResponse(std::move(rejection));
     }
     // Coalesce with an identical queued or executing request: both callers
-    // share one engine run (and one future).
+    // share one engine run (and one future). A twin whose run was already
+    // cancelled (every ticketed submitter abandoned it) is dead weight — a
+    // fresh submitter must get a fresh task, not a guaranteed kCancelled.
     if (const auto it = inflight_.find(coalesce_key); it != inflight_.end()) {
-      if (auto twin = it->second.lock()) {
+      if (auto twin = it->second.lock();
+          twin != nullptr && !twin->control.Cancelled()) {
         ++twin->extra_submitters;
         ++stats_.submitted;
         ++stats_.coalesced;
+        if (out_task != nullptr) *out_task = twin;
         return twin->future;
       }
       inflight_.erase(it);
@@ -159,6 +188,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
   inflight_[coalesce_key] = task;
   ++stats_.submitted;
   queue_not_empty_.notify_one();
+  if (out_task != nullptr) *out_task = task;
   return task->future;
 }
 
@@ -386,6 +416,16 @@ DecompositionService::Stats DecompositionService::stats() const {
 
 ResultCache::Stats DecompositionService::cache_stats() const {
   return cache_.stats();
+}
+
+size_t DecompositionService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t DecompositionService::IdleWorkers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_workers_;
 }
 
 uint64_t DecompositionService::WorkspaceGrowths() const {

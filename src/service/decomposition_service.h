@@ -76,6 +76,9 @@ struct ServiceOptions {
 /// the workspace-reuse invariant of one decomposition, extended to the
 /// whole request stream.
 class DecompositionService {
+ private:
+  struct Task;  // declared early so Ticket can refer to it
+
  public:
   explicit DecompositionService(GraphRegistry& registry,
                                 const ServiceOptions& options = {});
@@ -93,6 +96,41 @@ class DecompositionService {
   /// full.
   std::optional<std::shared_future<Response>> TrySubmit(
       const Request& request);
+
+  /// A submitted request plus the right to walk away from it. Front-ends
+  /// hold one per in-flight client so a vanished client (disconnected
+  /// socket) can withdraw its interest; when the last interested submitter
+  /// abandons, the underlying engine run is cancelled through its
+  /// PeelControl instead of burning a worker on output nobody will read.
+  /// Requests answered without a task (cache hit, rejection) yield a ticket
+  /// whose Abandon is a no-op.
+  class Ticket {
+   public:
+    Ticket() = default;
+    // Move-only: Abandon's idempotence rests on resetting *the* ticket's
+    // task reference — a copy would let one submitter abandon twice and
+    // cancel a run a coalesced twin still wants.
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    Ticket(Ticket&&) = default;
+    Ticket& operator=(Ticket&&) = default;
+    const std::shared_future<Response>& future() const { return future_; }
+
+   private:
+    friend class DecompositionService;
+    std::shared_future<Response> future_;
+    std::weak_ptr<Task> task_;
+  };
+
+  /// Non-blocking ticketed submit: std::nullopt when the queue is full
+  /// (the HTTP front-end turns that into 429 admission rejection).
+  std::optional<Ticket> TrySubmitTicket(const Request& request);
+
+  /// Withdraws one submitter's interest in a ticketed request. Cancels the
+  /// task's PeelControl once no interested submitter remains — coalesced
+  /// twins keep the run alive. Idempotent per ticket; safe after the
+  /// response resolved (the cancel is simply too late to matter).
+  void Abandon(Ticket& ticket);
 
   /// Submit + wait.
   Response Execute(const Request& request);
@@ -118,9 +156,18 @@ class DecompositionService {
     uint64_t engine_runs = 0;  ///< actual decomposition executions
     uint64_t batched_follow_ons = 0;  ///< extra same-graph pops per batch
     uint64_t cancelled = 0;    ///< tasks resolved as kCancelled
+    uint64_t abandoned = 0;    ///< Abandon calls on live tickets
   };
   Stats stats() const;
   ResultCache::Stats cache_stats() const;
+
+  /// Queue/worker introspection for serving dashboards (/statz): all
+  /// instantaneous snapshots, racy by nature.
+  size_t QueueDepth() const;
+  size_t queue_capacity() const { return options_.queue_capacity; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Workers currently parked on the empty queue (busy = total − idle).
+  size_t IdleWorkers() const;
 
   /// Sum of buffer-growth events across all service-owned workspace pools.
   /// Flat across a steady-state workload = the hot path is allocation-free.
@@ -153,6 +200,7 @@ class DecompositionService {
     std::promise<Response> promise;
     std::shared_future<Response> future;
     uint64_t extra_submitters = 0;  ///< guarded by the service mutex
+    uint64_t abandoned = 0;         ///< guarded by the service mutex
   };
 
   struct Worker {
@@ -163,7 +211,9 @@ class DecompositionService {
   static std::shared_future<Response> ReadyResponse(Response response);
 
   std::shared_future<Response> SubmitImpl(const Request& request,
-                                          bool may_block, bool* would_block);
+                                          bool may_block, bool* would_block,
+                                          std::shared_ptr<Task>* out_task =
+                                              nullptr);
   void WorkerMain(Worker& worker);
   /// Pops the front task plus up to max_batch-1 queued tasks on the same
   /// graph epoch. Caller holds the mutex and guarantees a non-empty queue.

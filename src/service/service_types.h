@@ -4,10 +4,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/stats.h"
 #include "util/types.h"
+
+namespace receipt::util {
+class JsonWriter;
+class JsonValue;
+}  // namespace receipt::util
 
 namespace receipt::service {
 
@@ -109,6 +115,40 @@ struct Response {
   bool coalesced = false;   ///< one engine run served >1 identical submits
   uint64_t graph_epoch = 0; ///< registry epoch the result was computed on
 };
+
+// ---------------------------------------------------------------------------
+// Wire form: the request/response structs above serialize themselves so any
+// front-end (the HTTP server, tools reading its output) speaks one schema.
+// Names on the wire are the same strings RequestKindName / AlgorithmName
+// print ("tip-U", "RECEIPT-W", …) and both lookups accept them
+// case-insensitively.
+// ---------------------------------------------------------------------------
+
+/// Inverse of RequestKindName (case-insensitive). False on unknown names.
+bool RequestKindFromName(std::string_view name, RequestKind* kind);
+
+/// Inverse of AlgorithmName (case-insensitive). False on unknown names.
+bool AlgorithmFromName(std::string_view name, Algorithm* algorithm);
+
+/// Parses the wire form of a Request, e.g. the POST /v1/decompose body:
+///   {"graph": "g1", "kind": "tip-U", "algo": "RECEIPT",
+///    "partitions": 6, "threads": 2}
+/// `graph` is required; `kind`/`algo` default as the struct does;
+/// `partitions`/`threads` must be positive when present. Returns false and
+/// sets *error on any violation, leaving *request unspecified.
+bool RequestFromJson(const util::JsonValue& json, Request* request,
+                     std::string* error);
+
+/// Writes every PeelStats counter and per-phase timing as one JSON object
+/// (the same quantities AppendPeelStats exports to bench JSON).
+void WritePeelStatsJson(const PeelStats& stats, util::JsonWriter* writer);
+
+/// Writes the full wire form of a terminal Response: status/error, the
+/// echoed request parameters, serving metadata (epoch, cache_hit,
+/// coalesced) and — when status == kOk — max_number, the complete numbers
+/// array and the PeelStats object.
+void WriteResponseJson(const Request& request, const Response& response,
+                       util::JsonWriter* writer);
 
 }  // namespace receipt::service
 

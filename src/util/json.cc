@@ -1,0 +1,455 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace receipt::util {
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeValue();
+  AppendJsonEscaped(&out_, key);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendJsonEscaped(&out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::GetString(std::string_view key, std::string* out) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->IsString()) return false;
+  *out = value->AsString();
+  return true;
+}
+
+bool JsonValue::GetInt(std::string_view key, int64_t* out) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->IsInt() || !value->fits_int64_) {
+    return false;
+  }
+  *out = value->AsInt();
+  return true;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool* out) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->IsBool()) return false;
+  *out = value->AsBool();
+  return true;
+}
+
+/// Single-pass recursive-descent parser over a string_view. Depth-limited
+/// so a hostile body ("[[[[…") cannot blow the handler thread's stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, 0)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters after JSON value at offset " +
+                 std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    error_ = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("invalid literal");
+        out->type_ = JsonValue::Type::kNull;
+        return true;
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->items_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool AppendCodePoint(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+    return true;
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t code_point = 0;
+          if (!ParseHex4(&code_point)) return false;
+          // Surrogates are only meaningful as a high+low pair; a lone one
+          // would encode to invalid UTF-8 that strict consumers (e.g.
+          // python's json) reject, so fail instead of emitting WTF-8.
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid surrogate pair");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendCodePoint(code_point, out);
+          break;
+        }
+        default: return Fail("invalid escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool integral = true;
+    if (Consume('-')) {}
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == int_start) return Fail("invalid number");
+    // RFC 8259: no leading zeros ("007" is not a JSON number).
+    if (text_[int_start] == '0' && pos_ > int_start + 1) {
+      return Fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const size_t frac_start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac_start) return Fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp_start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return Fail("invalid number");
+    }
+
+    const std::string token(text_.substr(start, pos_ - start));
+    out->type_ = JsonValue::Type::kNumber;
+    out->double_ = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      // Exact integer forms: int64 via strtoll, and additionally uint64 for
+      // non-negative values up to 2^64-1 (tip numbers can exceed int64-safe
+      // doubles; counters round-trip through AsUint exactly). A value in
+      // (INT64_MAX, UINT64_MAX] is IsInt() but not fits_int64_, so GetInt
+      // fails rather than silently handing back a truncated value.
+      errno = 0;
+      const long long as_int = std::strtoll(token.c_str(), nullptr, 10);
+      if (errno == 0) {
+        out->is_int_ = true;
+        out->fits_int64_ = true;
+        out->int_ = as_int;
+        out->uint_ = as_int < 0 ? 0 : static_cast<uint64_t>(as_int);
+      }
+      if (token[0] != '-') {
+        errno = 0;
+        const unsigned long long as_uint =
+            std::strtoull(token.c_str(), nullptr, 10);
+        if (errno == 0) {
+          out->is_int_ = true;
+          out->uint_ = as_uint;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  JsonValue value;
+  JsonParser parser(text);
+  if (!parser.ParseDocument(&value, error)) return std::nullopt;
+  return value;
+}
+
+}  // namespace receipt::util
