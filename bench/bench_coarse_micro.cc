@@ -11,9 +11,10 @@
 //    and thread count tested, and
 //  * on the skewed generator, the indexed path's examined-element count
 //    (bound_walk_buckets + init_patch_elements + histogram_refines, plus
-//    index_rebuild_elements for honesty about re-count rebuilds) is
-//    strictly below the scan path's active_scan_elements — the
-//    output-sensitivity claim, per algorithm and thread count.
+//    index_rebuild_elements and index_active_elements for honesty about
+//    re-count rebuilds and index-built active sets) is strictly below the
+//    scan path's active_scan_elements — the output-sensitivity claim, per
+//    algorithm and thread count.
 //
 // `--json <path>` additionally emits the records as a BENCH_coarse_micro
 // trajectory file. Plain executable (no google-benchmark): deterministic
@@ -31,7 +32,7 @@ namespace {
 
 uint64_t IndexedExamined(const PeelStats& s) {
   return s.bound_walk_buckets + s.init_patch_elements + s.histogram_refines +
-         s.index_rebuild_elements;
+         s.index_rebuild_elements + s.index_active_elements;
 }
 
 void Report(const char* graph, const char* algo, const char* path,
@@ -71,7 +72,8 @@ bool Compare(const char* graph, const char* algo, int threads,
   bool ok = true;
   if (scan.bounds != indexed.bounds || scan.subsets != indexed.subsets ||
       scan.subset_of != indexed.subset_of ||
-      scan.init_support != indexed.init_support) {
+      scan.init_support != indexed.init_support ||
+      scan.predicted_costs != indexed.predicted_costs) {
     std::printf("!! %s/%s t=%d: RangeResult differs between indexed and "
                 "scan coarse paths\n",
                 graph, algo, threads);
@@ -134,6 +136,9 @@ int Main(int argc, char** argv) {
         options.num_partitions = DefaultPartitions();
         options.use_huc = optimized;
         options.use_dgm = optimized;
+        // Deterministic direction decisions — the element counters are
+        // the gate, and the measured-cost default is timing-dependent.
+        options.frontier_switch = FrontierSwitch::kFixedDensity;
         const auto run = [&](bool use_index, PeelStats* stats) {
           TipOptions o = options;
           o.use_support_index = use_index;
@@ -150,6 +155,7 @@ int Main(int argc, char** argv) {
       ReceiptWingOptions options;
       options.num_threads = threads;
       options.num_partitions = 8;
+      options.frontier_switch = FrontierSwitch::kFixedDensity;
       const auto run = [&](bool use_index, PeelStats* stats) {
         ReceiptWingOptions o = options;
         o.use_support_index = use_index;

@@ -147,6 +147,14 @@ void AppendPeelStats(const PeelStats& stats, JsonRecord* record) {
   record->counters.emplace_back("dgm_compactions", stats.dgm_compactions);
   record->counters.emplace_back("frontier_rounds", stats.frontier_rounds);
   record->counters.emplace_back("scan_rounds", stats.scan_rounds);
+  record->counters.emplace_back("index_build_rounds",
+                                stats.index_build_rounds);
+  record->counters.emplace_back("scan_build_elements",
+                                stats.scan_build_elements);
+  record->counters.emplace_back("frontier_build_elements",
+                                stats.frontier_build_elements);
+  record->counters.emplace_back("index_active_elements",
+                                stats.index_active_elements);
   record->counters.emplace_back("active_scan_elements",
                                 stats.active_scan_elements);
   record->counters.emplace_back("bound_walk_buckets",
@@ -156,6 +164,15 @@ void AppendPeelStats(const PeelStats& stats, JsonRecord* record) {
                                 stats.init_patch_elements);
   record->counters.emplace_back("index_rebuild_elements",
                                 stats.index_rebuild_elements);
+  record->counters.emplace_back("placement_nodes", stats.placement_nodes);
+  record->counters.emplace_back("placement_local_pops",
+                                stats.placement_local_pops);
+  record->counters.emplace_back("placement_remote_steals",
+                                stats.placement_remote_steals);
+  record->counters.emplace_back("makespan_predicted",
+                                stats.makespan_predicted);
+  record->counters.emplace_back("makespan_measured",
+                                stats.makespan_measured);
   record->counters.emplace_back("num_subsets", stats.num_subsets);
   record->values.emplace_back("scan_cost_per_element",
                               stats.scan_cost_per_element);

@@ -52,6 +52,9 @@ bool RunTip(const MicroGraph& mg, std::vector<JsonRecord>& records,
     TipOptions options;
     options.num_threads = DefaultThreads();
     options.num_partitions = DefaultPartitions();
+    // Direction forcing requires the fixed-density switch; the
+    // measured-cost default would override the threshold.
+    options.frontier_switch = FrontierSwitch::kFixedDensity;
     options.frontier_density_threshold = dir.threshold;
     const TipResult r = ReceiptDecompose(mg.graph, options);
 
@@ -110,6 +113,7 @@ bool RunWing(const MicroGraph& mg, std::vector<JsonRecord>& records) {
     ReceiptWingOptions options;
     options.num_threads = DefaultThreads();
     options.num_partitions = 8;
+    options.frontier_switch = FrontierSwitch::kFixedDensity;
     options.frontier_density_threshold = dir.threshold;
     const WingResult r = ReceiptWingDecompose(mg.graph, options);
 

@@ -44,7 +44,8 @@ namespace {
 using namespace receipt;
 
 /// Minimal --flag value parser: flags() returns "" for missing keys;
-/// boolean switches store "1".
+/// boolean switches store "1". Accepts both `--flag value` and
+/// `--flag=value` spellings.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -52,6 +53,10 @@ class Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) continue;
       key = key.substr(2);
+      if (const size_t eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[key] = argv[++i];
       } else {
@@ -82,6 +87,28 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Validated on/off switch: absent → `fallback`; bare flag / on / 1 / true
+/// → true; off / 0 / false → false; anything else is a usage error.
+bool ParseOnOff(const Args& args, const char* flag, bool fallback,
+                bool* out) {
+  if (!args.Has(flag)) {
+    *out = fallback;
+    return true;
+  }
+  const std::string value = args.Get(flag);
+  if (value == "1" || value == "on" || value == "true") {
+    *out = true;
+    return true;
+  }
+  if (value == "0" || value == "off" || value == "false") {
+    *out = false;
+    return true;
+  }
+  std::fprintf(stderr, "--%s takes on or off, got '%s'\n", flag,
+               value.c_str());
+  return false;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -93,13 +120,14 @@ int Usage() {
       "            [--approx-samples N]\n"
       "  decompose --input FILE | --dataset NAME  [--algo receipt|bup|parb]\n"
       "            [--side U|V] [--threads T] [--partitions P]\n"
-      "            [--no-huc] [--no-dgm] [--output FILE]\n"
+      "            [--no-huc] [--no-dgm] [--pin-numa[=off]]\n"
+      "            [--placement-nodes N] [--output FILE]\n"
       "  wing      --input FILE | --dataset NAME  [--parallel]\n"
       "            [--threads T] [--partitions P] [--output FILE]\n"
       "  serve     --graphs NAME=FILE[,NAME=FILE...] | --datasets it,de,...\n"
       "            [--workers W] [--clients C] [--requests N] [--threads T]\n"
       "            [--partitions P] [--cache-mb MB] [--queue-capacity N]\n"
-      "            [--http-port PORT] [--http-threads N]\n"
+      "            [--pin-numa[=off]] [--http-port PORT] [--http-threads N]\n"
       "            (--http-port serves HTTP/JSON until SIGINT/SIGTERM;\n"
       "             graphs may also be registered later via POST /v1/graphs)\n");
   return 1;
@@ -217,6 +245,16 @@ int CmdDecompose(const Args& args) {
       static_cast<int>(args.GetInt("partitions", 150));
   options.use_huc = !args.Has("no-huc");
   options.use_dgm = !args.Has("no-dgm");
+  if (!ParseOnOff(args, "pin-numa", options.pin_numa, &options.pin_numa)) {
+    return 1;
+  }
+  const int64_t placement_nodes = args.GetInt("placement-nodes", 0);
+  if (placement_nodes < 0 || placement_nodes > 1024) {
+    std::fprintf(stderr, "--placement-nodes must be in [0, 1024], got %lld\n",
+                 static_cast<long long>(placement_nodes));
+    return 1;
+  }
+  options.placement_nodes = static_cast<int>(placement_nodes);
 
   const std::string algo = args.Get("algo", "receipt");
   TipResult result;
@@ -351,6 +389,13 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.coalesced),
       static_cast<unsigned long long>(stats.cancelled));
+  const service::DecompositionService::SchedulerStats sched =
+      service.scheduler_stats();
+  std::printf(
+      "scheduler: nodes=%d pinned=%s local_pops=%llu remote_steals=%llu\n",
+      sched.num_nodes, sched.pinned ? "yes" : "no",
+      static_cast<unsigned long long>(sched.local_pops),
+      static_cast<unsigned long long>(sched.remote_steals));
   std::printf("workspace growths (all worker pools): %llu\n",
               static_cast<unsigned long long>(service.WorkspaceGrowths()));
   return 0;
@@ -423,7 +468,16 @@ int CmdServe(const Args& args) {
     return 1;
   }
   service_options.queue_capacity = static_cast<size_t>(queue_capacity);
+  if (!ParseOnOff(args, "pin-numa", service_options.pin_numa,
+                  &service_options.pin_numa)) {
+    return 1;
+  }
   service::DecompositionService service(registry, service_options);
+
+  const service::DecompositionService::SchedulerStats sched =
+      service.scheduler_stats();
+  std::printf("scheduler: nodes=%d pinned=%s workers=%d\n", sched.num_nodes,
+              sched.pinned ? "yes" : "no", service.num_workers());
 
   if (args.Has("http-port")) return ServeHttp(args, registry, service);
 
@@ -516,6 +570,13 @@ int CmdServe(const Args& args) {
               static_cast<unsigned long long>(cache.entries),
               static_cast<unsigned long long>(cache.bytes),
               static_cast<unsigned long long>(cache.evictions));
+  const service::DecompositionService::SchedulerStats final_sched =
+      service.scheduler_stats();
+  std::printf(
+      "scheduler: nodes=%d pinned=%s local_pops=%llu remote_steals=%llu\n",
+      final_sched.num_nodes, final_sched.pinned ? "yes" : "no",
+      static_cast<unsigned long long>(final_sched.local_pops),
+      static_cast<unsigned long long>(final_sched.remote_steals));
   std::printf("workspace growths (all worker pools): %llu\n",
               static_cast<unsigned long long>(service.WorkspaceGrowths()));
   if (failed_requests.load() > 0) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cost_model.h"
 #include "engine/counting.h"
 #include "engine/extraction.h"
 #include "engine/graph_maintenance.h"
@@ -168,8 +169,12 @@ struct CoarseOptions {
   /// Direction rule under kFixedDensity (see kDefaultFrontierDensity):
   /// ≤ 0 forces full scans, > 1 forces frontier merges.
   double frontier_density_threshold = kDefaultFrontierDensity;
-  /// Fixed-fraction vs measured-cost direction switching.
-  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+  /// Fixed-fraction vs measured-cost direction switching. Measured cost is
+  /// the default: the run adapts to the machine's actual rebuild costs and
+  /// falls back to the density rule until both directions are sampled.
+  /// Pin kFixedDensity to force directions via the threshold (the
+  /// direction-forcing suites and micro-benches do).
+  FrontierSwitch frontier_switch = FrontierSwitch::kMeasuredCost;
   /// Histogram-indexed range bounds + delta-patched ⊲⊳init (default) vs
   /// the legacy per-range O(n) scan path.
   bool use_support_index = true;
@@ -250,11 +255,16 @@ class RangeDecomposer {
       RebuildIndex(n, stats);
     }
 
-    const double total_cost = static_cast<double>(ParallelReduceSum<Count>(
+    const Count total_static = ParallelReduceSum<Count>(
         n, num_threads_, [&](size_t e) { return static_cost_[e]; },
-        &reduce_scratch_));
-    double remaining_cost = total_cost;
+        &reduce_scratch_);
+    double remaining_cost = static_cast<double>(total_static);
     double target = remaining_cost / max_partitions_;  // Alg. 3 line 4
+    // Exact-integer twin of remaining_cost, kept so the final unbounded
+    // subset's predicted cost (= all remaining mass) is bit-identical
+    // across paths and thread counts (the double track feeds the adaptive
+    // target only).
+    Count remaining_static = total_static;
 
     uint64_t alive_count = n;
     while (alive_count > 0) {
@@ -283,13 +293,17 @@ class RangeDecomposer {
       // proportional to buckets walked, not n. Fallback: one parallel
       // alive filter + partial selection per subset.
       Count hi = kInvalidCount;
+      // Cost-model prediction for this range (see RangeResult docs): an
+      // exact integer both bound paths derive from the same multiset. The
+      // final unbounded subset's prediction is everything left.
+      Count predicted = remaining_static;
       if (subset_index < max_partitions_) {
         const double clamped = std::max(1.0, target);
         if (index_ != nullptr) {
           hi = index_->FindBound(
               RangeCostNeed(clamped),
               [&](uint64_t e) { return pg_->Support(static_cast<Id>(e)); },
-              stats);
+              stats, &predicted);
         } else {
           ParallelFilterInto(
               n, num_threads_, range_scratch_,
@@ -300,8 +314,10 @@ class RangeDecomposer {
               },
               &filter_offsets_);
           hi = FindRangeBound(range_scratch_, clamped);
+          predicted = CostMassBelow(range_scratch_, hi);
         }
       }
+      result.predicted_costs.push_back(predicted);
 
       result.subsets.emplace_back();
       alive_count =
@@ -314,11 +330,13 @@ class RangeDecomposer {
       // partial sums folded in block order, so the target — and therefore
       // every later bound — is independent of thread count).
       const std::vector<Id>& subset = result.subsets.back();
-      const double subset_cost = static_cast<double>(ParallelReduceSum<Count>(
+      const Count subset_static = ParallelReduceSum<Count>(
           subset.size(), num_threads_,
           [&](size_t i) { return static_cost_[subset[i]]; },
-          &reduce_scratch_));
+          &reduce_scratch_);
+      const double subset_cost = static_cast<double>(subset_static);
       remaining_cost -= subset_cost;
+      remaining_static -= std::min(remaining_static, subset_static);
       if (subset_index + 1 < max_partitions_) {
         const double base =
             remaining_cost /
@@ -427,8 +445,8 @@ class RangeDecomposer {
   }
 
   /// One timed full-scan active-set rebuild with its direction accounting —
-  /// shared by the three scan sites in PeelRange (initial build, post-
-  /// re-count rebuild, dense-frontier fallback).
+  /// the scan fallback's build-everywhere path and the indexed path's
+  /// dense-frontier fallback.
   template <typename InRange, typename AsId>
   void RebuildByScan(uint64_t n, InRange&& in_range, AsId&& as_id,
                      PeelStats* stats) {
@@ -437,7 +455,36 @@ class RangeDecomposer {
                        &filter_offsets_);
     UpdateEwma(&scan_cost_ewma_, scan_timer.Seconds(), n);
     ++stats->scan_rounds;
+    stats->scan_build_elements += n;
     stats->active_scan_elements += n;
+  }
+
+  /// Index-built full rebuild: collects the in-range entities from the
+  /// histogram's member lists — cost proportional to the range population,
+  /// not n — then sorts by id to restore the ascending order the scan
+  /// produces (member-list order is schedule-dependent; the sorted set is
+  /// bit-identical to RebuildByScan's). Only called while bucket
+  /// membership is reconciled: the initial build of each range (right
+  /// after the boundary patch) and the post-re-count rebuild (right after
+  /// RebuildIndex).
+  void RebuildByIndex(Count hi, PeelStats* stats) {
+    active_.clear();
+    index_->ForEachAliveBelow(
+        hi, [&](uint64_t e) { return pg_->Support(static_cast<Id>(e)); },
+        stats, [&](uint64_t e) { active_.push_back(static_cast<Id>(e)); });
+    std::sort(active_.begin(), active_.end());
+    ++stats->index_build_rounds;
+  }
+
+  /// Full rebuild dispatch for the two reconciled call sites above.
+  template <typename InRange, typename AsId>
+  void RebuildFull(uint64_t n, Count hi, InRange&& in_range, AsId&& as_id,
+                   PeelStats* stats) {
+    if (index_ != nullptr) {
+      RebuildByIndex(hi, stats);
+    } else {
+      RebuildByScan(n, in_range, as_id, stats);
+    }
   }
 
   /// Peels every alive entity with support in [lo, hi) — the round loop of
@@ -453,10 +500,12 @@ class RangeDecomposer {
     };
     const auto as_id = [](size_t e) { return static_cast<Id>(e); };
 
-    // First active set of the range: necessarily a full scan (Alg. 3
+    // First active set of the range: necessarily a full rebuild (Alg. 3
     // line 9) — entities whose support already lay inside the new, wider
-    // range were never updated, so no frontier knows them.
-    RebuildByScan(n, in_range, as_id, stats);
+    // range were never updated, so no frontier knows them. On the indexed
+    // path the histogram was just reconciled at the boundary, so the set
+    // comes from its member lists instead of an O(n) scan.
+    RebuildFull(n, hi, in_range, as_id, stats);
 
     while (!active_.empty()) {
       ++stats->sync_rounds;
@@ -554,7 +603,9 @@ class RangeDecomposer {
       // sparse; re-scan when it is dense or a re-count invalidated the
       // tracking. Identical output either way (see class comment).
       if (need_full_scan) {
-        RebuildByScan(n, in_range, as_id, stats);
+        // A re-count just rebuilt the index, so its membership is exact —
+        // the indexed path rebuilds from member lists here too.
+        RebuildFull(n, hi, in_range, as_id, stats);
       } else if (merged_frontier_.empty()) {
         // No entity dropped into range this round, so the range is
         // exhausted (the claimed set equals the scan set) — a terminal
@@ -568,6 +619,7 @@ class RangeDecomposer {
         // also makes subset member order independent of thread count).
         const WallTimer merge_timer;
         std::sort(merged_frontier_.begin(), merged_frontier_.end());
+        stats->frontier_build_elements += merged_frontier_.size();
         stats->active_scan_elements += merged_frontier_.size();
         ++stats->frontier_rounds;
         active_.clear();

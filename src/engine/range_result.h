@@ -30,6 +30,16 @@ struct RangeResult {
   /// the two are bit-identical, which the coarse equivalence suites assert
   /// field by field.
   std::vector<Count> init_support;
+
+  /// predicted_costs[i] = the cost-model prediction for subset i: the
+  /// static-cost mass of the entities alive with support inside range i at
+  /// the moment its bound was fixed (all remaining mass for the final
+  /// unbounded subset). Read off the histogram's bucket cost sums on the
+  /// indexed path and reproduced exactly by the scan fallback — an
+  /// integer, bit-identical across paths and thread counts. The FD
+  /// placement layer's LPT assigner consumes it in place of the legacy
+  /// O(m) induced wedge-count pass.
+  std::vector<Count> predicted_costs;
 };
 
 }  // namespace receipt::engine

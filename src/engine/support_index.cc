@@ -29,6 +29,7 @@ void SupportIndex::PrepareStorage(uint64_t n, Count max_support) {
   AssignCounted(bucket_count_, num_buckets_, uint64_t{0}, &growths_);
   AssignCounted(bucket_cost_, num_buckets_, uint64_t{0}, &growths_);
   AssignCounted(group_cost_, num_groups, uint64_t{0}, &growths_);
+  AssignCounted(group_count_, num_groups, uint64_t{0}, &growths_);
   AssignCounted(head_, num_buckets_, kNil, &growths_);
   AssignCounted(next_, n, kNil, &growths_);
   AssignCounted(prev_, n, kNil, &growths_);

@@ -144,8 +144,18 @@ class SupportIndex {
   /// mass is below `need`, kInvalidCount when nothing is alive). `supports`
   /// resolves exact member supports during the bounded refine.
   /// Contributes bound_walk_buckets and histogram_refines to `*stats`.
+  ///
+  /// When `predicted_cost` is non-null it receives the cost mass of the
+  /// range the bound opens — Σ cost over alive entities with support < the
+  /// returned bound, an exact integer read off the bucket cost sums the
+  /// walk accumulates anyway. This is the per-range peel-cost prediction
+  /// the placement layer's LPT assigner consumes; the scan fallback
+  /// reproduces the identical value with CostMassBelow, which the
+  /// bit-identicality suites assert.
   template <typename SupportFn>
-  Count FindBound(Count need, SupportFn&& supports, PeelStats* stats) {
+  Count FindBound(Count need, SupportFn&& supports, PeelStats* stats,
+                  Count* predicted_cost = nullptr) {
+    if (predicted_cost != nullptr) *predicted_cost = 0;
     if (alive_ == 0) return kInvalidCount;
     uint64_t acc = 0;
     uint64_t walked = 0;
@@ -187,6 +197,8 @@ class SupportIndex {
         ++stats->histogram_refines;
         max_support = std::max(max_support, supports(e));
       }
+      // Total mass consumed: the range swallows every alive entity.
+      if (predicted_cost != nullptr) *predicted_cost = acc;
       return max_support + 1;
     }
 
@@ -196,6 +208,11 @@ class SupportIndex {
     const Count lo = static_cast<Count>(crossing) << shift_;
     if (shift_ == 0) {
       ++stats->histogram_refines;
+      // Width-1 crossing bucket: every member's support is exactly lo <
+      // the bound lo + 1, so the whole bucket belongs to the range.
+      if (predicted_cost != nullptr) {
+        *predicted_cost = acc + bucket_cost_[crossing];
+      }
       return lo + 1;
     }
     const size_t refine_capacity_before = refine_scratch_.capacity();
@@ -205,7 +222,61 @@ class SupportIndex {
     }
     if (refine_scratch_.capacity() != refine_capacity_before) ++growths_;
     stats->histogram_refines += refine_scratch_.size();
-    return RefineCrossing(need - acc);
+    const Count bound = RefineCrossing(need - acc);
+    if (predicted_cost != nullptr) {
+      // Crossing-bucket members below the refined bound complete the
+      // prediction (the partitioning above preserved the multiset).
+      Count partial = acc;
+      for (const auto& [s, c] : refine_scratch_) {
+        if (s < bound) partial += c;
+      }
+      *predicted_cost = partial;
+    }
+    return bound;
+  }
+
+  /// Visits every resident entity with support < `hi` (all of them when
+  /// `hi` is kInvalidCount) by walking the member lists of the buckets at
+  /// or below the crossing bucket — the index-built replacement for the
+  /// O(n) initial active-set scan of each range. Only valid while bucket
+  /// membership is reconciled (right after a boundary patch or a full
+  /// rebuild — the two places RangeDecomposer calls it); deferred
+  /// mid-range moves would under-collect. Visit order is list order
+  /// (schedule-dependent): callers must sort. Examined members and walked
+  /// buckets are charged to index_active_elements.
+  template <typename SupportFn, typename Visit>
+  void ForEachAliveBelow(Count hi, SupportFn&& supports, PeelStats* stats,
+                         Visit&& visit) const {
+    if (alive_ == 0 || hi == 0 || num_buckets_ == 0) return;
+    uint64_t examined = 0;
+    const uint32_t crossing = BucketOf(hi - 1);
+    // Group-at-a-time walk: an empty summary group skips kGroupSize
+    // buckets for one probe, so the walk scales with populated groups and
+    // members, not with the support range.
+    for (uint32_t g = 0; g <= crossing / kGroupSize; ++g) {
+      ++examined;
+      if (group_count_[g] == 0) continue;
+      const uint32_t lo_b = g * kGroupSize;
+      const uint32_t hi_b =
+          std::min<uint32_t>(lo_b + kGroupSize - 1, crossing);
+      for (uint32_t b = lo_b; b <= hi_b; ++b) {
+        if (bucket_count_[b] == 0) continue;
+        ++examined;
+        if (b < crossing) {
+          for (uint64_t e = head_[b]; e != kNil; e = next_[e]) {
+            ++examined;
+            visit(e);
+          }
+        } else {
+          // Crossing bucket: members may straddle the bound; filter.
+          for (uint64_t e = head_[b]; e != kNil; e = next_[e]) {
+            ++examined;
+            if (supports(e) < hi) visit(e);
+          }
+        }
+      }
+    }
+    stats->index_active_elements += examined;
   }
 
   uint64_t alive() const { return alive_; }
@@ -229,6 +300,7 @@ class SupportIndex {
     ++bucket_count_[b];
     bucket_cost_[b] += cost;
     group_cost_[b / kGroupSize] += cost;
+    ++group_count_[b / kGroupSize];
     cost_cache_[e] = cost;
   }
 
@@ -242,6 +314,7 @@ class SupportIndex {
     --bucket_count_[b];
     bucket_cost_[b] -= cost;
     group_cost_[b / kGroupSize] -= cost;
+    --group_count_[b / kGroupSize];
   }
 
   Count cost_of_(uint64_t e) const { return cost_cache_[e]; }
@@ -262,6 +335,11 @@ class SupportIndex {
   std::vector<uint64_t> bucket_count_;
   std::vector<uint64_t> bucket_cost_;
   std::vector<uint64_t> group_cost_;
+  /// Alive members per summary group — lets ForEachAliveBelow skip an
+  /// empty group of kGroupSize buckets at the cost of one probe, keeping
+  /// the index-built active-set walk output-sensitive even when the
+  /// support range (and thus the bucket count) dwarfs the member count.
+  std::vector<uint64_t> group_count_;
   std::vector<uint64_t> head_;
   std::vector<uint64_t> next_;
   std::vector<uint64_t> prev_;

@@ -98,11 +98,20 @@ void WritePeelStatsJson(const PeelStats& stats, util::JsonWriter* writer) {
       .Key("dgm_compactions").Uint(stats.dgm_compactions)
       .Key("frontier_rounds").Uint(stats.frontier_rounds)
       .Key("scan_rounds").Uint(stats.scan_rounds)
+      .Key("index_build_rounds").Uint(stats.index_build_rounds)
+      .Key("scan_build_elements").Uint(stats.scan_build_elements)
+      .Key("frontier_build_elements").Uint(stats.frontier_build_elements)
+      .Key("index_active_elements").Uint(stats.index_active_elements)
       .Key("active_scan_elements").Uint(stats.active_scan_elements)
       .Key("bound_walk_buckets").Uint(stats.bound_walk_buckets)
       .Key("histogram_refines").Uint(stats.histogram_refines)
       .Key("init_patch_elements").Uint(stats.init_patch_elements)
       .Key("index_rebuild_elements").Uint(stats.index_rebuild_elements)
+      .Key("placement_nodes").Uint(stats.placement_nodes)
+      .Key("placement_local_pops").Uint(stats.placement_local_pops)
+      .Key("placement_remote_steals").Uint(stats.placement_remote_steals)
+      .Key("makespan_predicted").Uint(stats.makespan_predicted)
+      .Key("makespan_measured").Uint(stats.makespan_measured)
       .Key("num_subsets").Uint(stats.num_subsets)
       .Key("scan_cost_per_element").Double(stats.scan_cost_per_element)
       .Key("frontier_cost_per_element").Double(stats.frontier_cost_per_element)

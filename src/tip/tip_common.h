@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/cost_model.h"
 #include "engine/extraction.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -36,10 +37,32 @@ struct TipOptions {
   /// this yields the paper's RECEIPT- configuration.
   bool use_dgm = true;
 
-  /// RECEIPT FD only: sort the task queue by decreasing induced-subgraph
-  /// wedge count (Longest-Processing-Time rule, §3.2.1 / Fig. 3) before
-  /// dynamic allocation. Disabling processes subsets in creation order.
+  /// RECEIPT FD only: cost-model-driven scheduling — partitions are placed
+  /// onto nodes by the Longest-Processing-Time rule over their predicted
+  /// peel costs (§3.2.1 / Fig. 3, lifted to a node assignment), and each
+  /// node's queue pops highest cost first. Disabling deals partitions
+  /// round-robin in creation order (equivalent to fd_assignment =
+  /// kRoundRobin). Results are bit-identical either way.
   bool workload_aware_scheduling = true;
+
+  /// RECEIPT FD only: how partitions are assigned to nodes when
+  /// workload_aware_scheduling is on. kCostLpt (default) is the
+  /// cost-guided placement; kRoundRobin is the baseline the placement
+  /// micro-bench gates against. Results are bit-identical either way.
+  engine::PlacementAssign fd_assignment = engine::PlacementAssign::kCostLpt;
+
+  /// RECEIPT FD only: schedule against this many virtual nodes instead of
+  /// the discovered topology (0 = auto). Benches and the placement
+  /// determinism tests force multi-node scheduling on any machine this
+  /// way; pinning is a no-op for virtual nodes.
+  int placement_nodes = 0;
+
+  /// RECEIPT FD only: pin each FD worker thread to its assigned NUMA
+  /// node's CPUs for the duration of the FD phase (affinity restored
+  /// afterwards), so induced-subgraph arenas stay node-local. Effective
+  /// only on real topologies with more than one node; results are
+  /// bit-identical either way.
+  bool pin_numa = false;
 
   /// BUP and RECEIPT FD: the min-support extraction structure (§5.1
   /// implementation ablation; see bench_ablation_extraction).
@@ -54,10 +77,11 @@ struct TipOptions {
   double frontier_density_threshold = kDefaultFrontierDensity;
 
   /// RECEIPT CD only: how the rebuild direction is picked each round —
-  /// the fixed density fraction above (default, deterministic counters) or
-  /// the measured per-element rebuild costs (adaptive, timing-dependent
-  /// counters). Results are bit-identical under either rule.
-  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+  /// the measured per-element rebuild costs (default: adaptive,
+  /// timing-dependent counters) or the fixed density fraction above
+  /// (deterministic counters; the direction-forcing tests and benches pin
+  /// it). Results are bit-identical under either rule.
+  FrontierSwitch frontier_switch = FrontierSwitch::kMeasuredCost;
 
   /// RECEIPT CD only: maintain the coarse step's SupportIndex (a
   /// frontier-fed, cost-weighted support histogram) so range bounds come

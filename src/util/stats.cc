@@ -16,6 +16,10 @@ void PeelStats::Merge(const PeelStats& other) {
   dgm_compactions += other.dgm_compactions;
   frontier_rounds += other.frontier_rounds;
   scan_rounds += other.scan_rounds;
+  index_build_rounds += other.index_build_rounds;
+  scan_build_elements += other.scan_build_elements;
+  frontier_build_elements += other.frontier_build_elements;
+  index_active_elements += other.index_active_elements;
   active_scan_elements += other.active_scan_elements;
   bound_walk_buckets += other.bound_walk_buckets;
   histogram_refines += other.histogram_refines;
@@ -26,6 +30,12 @@ void PeelStats::Merge(const PeelStats& other) {
                                    other.scan_cost_per_element);
   frontier_cost_per_element = std::max(frontier_cost_per_element,
                                        other.frontier_cost_per_element);
+  placement_local_pops += other.placement_local_pops;
+  placement_remote_steals += other.placement_remote_steals;
+  // Plan-level gauges, not counters: keep the widest plan when folding.
+  placement_nodes = std::max(placement_nodes, other.placement_nodes);
+  makespan_predicted = std::max(makespan_predicted, other.makespan_predicted);
+  makespan_measured = std::max(makespan_measured, other.makespan_measured);
   num_subsets += other.num_subsets;
   seconds_counting += other.seconds_counting;
   seconds_cd += other.seconds_cd;
@@ -46,7 +56,16 @@ std::string PeelStats::ToString() const {
      << " num_subsets=" << num_subsets << "\n"
      << "  frontier_rounds=" << frontier_rounds
      << " scan_rounds=" << scan_rounds
+     << " index_build_rounds=" << index_build_rounds << "\n"
+     << "  scan_build_elements=" << scan_build_elements
+     << " frontier_build_elements=" << frontier_build_elements
+     << " index_active_elements=" << index_active_elements
      << " active_scan_elements=" << active_scan_elements << "\n"
+     << "  placement: nodes=" << placement_nodes
+     << " local_pops=" << placement_local_pops
+     << " remote_steals=" << placement_remote_steals
+     << " makespan_predicted=" << makespan_predicted
+     << " makespan_measured=" << makespan_measured << "\n"
      << "  bound_walk_buckets=" << bound_walk_buckets
      << " histogram_refines=" << histogram_refines
      << " init_patch_elements=" << init_patch_elements

@@ -37,17 +37,33 @@ struct PeelStats {
   uint64_t huc_recounts = 0;      ///< # iterations where HUC chose re-count.
   uint64_t dgm_compactions = 0;   ///< # dynamic-graph compaction passes.
 
-  // -- frontier scheduling (range peeling direction optimization) ----------
+  // -- frontier scheduling: what ran ---------------------------------------
+  // Per-direction build counts and elements examined. These report the
+  // work that actually executed; the EWMA gauges further down report what
+  // each element cost. Keeping the two groups separate is what lets the
+  // measured-cost switch be the default without muddying the "what ran"
+  // counters the equivalence suites and bench gates assert on.
   /// Active-set builds served by merging the workspace frontier buffers
   /// (sparse direction: cost proportional to the frontier, not to n).
   uint64_t frontier_rounds = 0;
-  /// Active-set builds that ran as full parallel scans — the first build of
-  /// every range, every post-re-count rebuild, and every round whose
-  /// frontier crossed the density threshold (dense direction).
+  /// Active-set builds that ran as full parallel scans — every
+  /// post-re-count rebuild and dense-frontier fallback, plus (scan
+  /// fallback only) the first build of every range.
   uint64_t scan_rounds = 0;
-  /// Total entities examined across all active-set builds: n per scan
-  /// build, the merged frontier size per frontier build. The quantity the
-  /// direction optimization minimizes (bench_frontier_micro reports it).
+  /// Active-set builds collected from SupportIndex member lists instead of
+  /// an O(n) scan — the first build of every range and every post-re-count
+  /// rebuild on the indexed path.
+  uint64_t index_build_rounds = 0;
+  /// Entities examined by full-scan builds (n per scan round).
+  uint64_t scan_build_elements = 0;
+  /// Entities examined by frontier-merge builds (merged frontier sizes).
+  uint64_t frontier_build_elements = 0;
+  /// Entities examined by index-built builds (in-range histogram members,
+  /// including the crossing bucket's filtered members).
+  uint64_t index_active_elements = 0;
+  /// Total entities examined across scan and frontier builds — the
+  /// quantity the direction optimization minimizes (bench_frontier_micro
+  /// reports it). Always scan_build_elements + frontier_build_elements.
   uint64_t active_scan_elements = 0;
 
   // -- output-sensitive coarse index (SupportIndex) ------------------------
@@ -65,13 +81,32 @@ struct PeelStats {
   /// build plus one per HUC re-count, which invalidates delta tracking).
   uint64_t index_rebuild_elements = 0;
 
-  // -- adaptive frontier/scan switch (FrontierSwitch::kMeasuredCost) -------
+  // -- frontier scheduling: what it cost -----------------------------------
+  // EWMA gauges backing the kMeasuredCost direction switch (the default).
+  // Timing-dependent by nature — never asserted for determinism.
   /// EWMA seconds per examined element of full-scan active-set rebuilds,
   /// as last observed by the run (0 while unsampled).
   double scan_cost_per_element = 0.0;
   /// EWMA seconds per examined element of frontier-merge rebuilds, as last
   /// observed by the run (0 while unsampled).
   double frontier_cost_per_element = 0.0;
+
+  // -- placement & scheduling (cost-model-driven FD / service) -------------
+  /// Nodes the placement plan spanned (gauge: Merge keeps the max).
+  uint64_t placement_nodes = 0;
+  /// FD tasks a worker popped from its own node's queue.
+  uint64_t placement_local_pops = 0;
+  /// FD tasks a worker stole from another node's queue (same-node-first
+  /// stealing makes this the cross-node traffic counter).
+  uint64_t placement_remote_steals = 0;
+  /// Predicted makespan of the placement plan: the largest per-node sum of
+  /// predicted partition costs (gauge: Merge keeps the max).
+  uint64_t makespan_predicted = 0;
+  /// Measured makespan in deterministic work units: the largest per-node
+  /// sum of wedges actually traversed peeling the partitions *assigned* to
+  /// that node (attribution follows the plan, not the stealing thread, so
+  /// the gauge is schedule-independent; gauge: Merge keeps the max).
+  uint64_t makespan_measured = 0;
 
   // -- structure ----------------------------------------------------------
   uint64_t num_subsets = 0;       ///< P actually produced by RECEIPT CD.

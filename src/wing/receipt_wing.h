@@ -23,7 +23,7 @@ struct ReceiptWingOptions {
 
   /// Coarse step only: rebuild-direction rule (see
   /// TipOptions::frontier_switch; bit-identical either way).
-  FrontierSwitch frontier_switch = FrontierSwitch::kFixedDensity;
+  FrontierSwitch frontier_switch = FrontierSwitch::kMeasuredCost;
 
   /// Coarse step only: histogram-indexed range bounds + delta-patched
   /// ⊲⊳init (see TipOptions::use_support_index; `false` retains the legacy

@@ -46,6 +46,9 @@ void ExpectSameRanges(const engine::RangeResult<VertexId>& scan,
   EXPECT_EQ(scan.subsets, indexed.subsets);
   EXPECT_EQ(scan.subset_of, indexed.subset_of);
   EXPECT_EQ(scan.init_support, indexed.init_support);
+  // The cost-model input rides along: both paths predict each range's peel
+  // cost with exact integer arithmetic, so the predictions are identical.
+  EXPECT_EQ(scan.predicted_costs, indexed.predicted_costs);
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +241,7 @@ TEST_P(CoarseIndexWingSweep, IndexedAndScanPathsAreBitIdentical) {
       EXPECT_EQ(scan.subsets, indexed.subsets);
       EXPECT_EQ(scan.subset_of, indexed.subset_of);
       EXPECT_EQ(scan.init_support, indexed.init_support);
+      EXPECT_EQ(scan.predicted_costs, indexed.predicted_costs);
       EXPECT_EQ(scan_stats.bound_walk_buckets, 0u);
       EXPECT_GT(indexed_stats.bound_walk_buckets, 0u);
       EXPECT_EQ(scan_stats.sync_rounds, indexed_stats.sync_rounds);

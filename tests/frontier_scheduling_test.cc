@@ -24,6 +24,9 @@ namespace receipt {
 namespace {
 
 // Force one rebuild direction: ≤ 0 = always scan, > 1 = always frontier.
+// Forcing only works under the fixed-density switch — the measured-cost
+// default consults the EWMA cost gauges first — so every direction-forcing
+// run below pins FrontierSwitch::kFixedDensity.
 constexpr double kScanOnly = 0.0;
 constexpr double kFrontierOnly = 2.0;
 
@@ -65,6 +68,7 @@ TEST_P(FrontierTipSweep, DirectionsAreBitIdentical) {
         options.num_partitions = partitions;
         options.use_huc = optimized;
         options.use_dgm = optimized;
+        options.frontier_switch = FrontierSwitch::kFixedDensity;
 
         options.frontier_density_threshold = kScanOnly;
         const TipResult scan = ReceiptDecompose(g, options);
@@ -87,13 +91,19 @@ TEST_P(FrontierTipSweep, DirectionsAreBitIdentical) {
         EXPECT_EQ(frontier.stats.sync_rounds, scan.stats.sync_rounds);
         EXPECT_EQ(frontier.stats.TotalWedges(), scan.stats.TotalWedges());
 
-        // The counters report the direction that actually ran.
+        // The counters report the direction that actually ran. Initial
+        // active sets come from the SupportIndex member lists (the default),
+        // so forced-frontier runs perform no scans at all.
         EXPECT_EQ(scan.stats.frontier_rounds, 0u);
         EXPECT_GT(scan.stats.scan_rounds, 0u);
+        // One index build per range, plus one per HUC-forced full rebuild.
+        EXPECT_GE(scan.stats.index_build_rounds, scan.stats.num_subsets);
         if (!optimized) {
-          // Without HUC re-counts, a frontier-only run scans exactly once
-          // per range (the initial active-set build).
-          EXPECT_EQ(frontier.stats.scan_rounds, frontier.stats.num_subsets);
+          // Without HUC re-counts, a frontier-only run builds from the
+          // index exactly once per range and never scans.
+          EXPECT_EQ(frontier.stats.scan_rounds, 0u);
+          EXPECT_EQ(frontier.stats.index_build_rounds,
+                    frontier.stats.num_subsets);
         }
         // The sparse direction examines no more elements than the dense
         // one, and strictly fewer whenever any frontier round ran.
@@ -130,6 +140,7 @@ TEST_P(FrontierWingSweep, DirectionsAreBitIdentical) {
       ReceiptWingOptions options;
       options.num_threads = threads;
       options.num_partitions = partitions;
+      options.frontier_switch = FrontierSwitch::kFixedDensity;
 
       options.frontier_density_threshold = kScanOnly;
       const WingResult scan = ReceiptWingDecompose(g, options);
@@ -146,8 +157,10 @@ TEST_P(FrontierWingSweep, DirectionsAreBitIdentical) {
 
       EXPECT_EQ(scan.stats.frontier_rounds, 0u);
       // Edge peeling never re-counts, so the frontier-only coarse step
-      // scans exactly once per range.
-      EXPECT_EQ(frontier.stats.scan_rounds, frontier.stats.num_subsets);
+      // builds from the index exactly once per range and never scans.
+      EXPECT_EQ(frontier.stats.scan_rounds, 0u);
+      EXPECT_EQ(frontier.stats.index_build_rounds,
+                frontier.stats.num_subsets);
       EXPECT_LE(frontier.stats.active_scan_elements,
                 scan.stats.active_scan_elements);
     }
@@ -184,6 +197,7 @@ TEST(FrontierRegressionTest, MultiDecrementVertexEntersActiveSetOnce) {
       options.num_partitions = 2;
       options.use_huc = false;
       options.use_dgm = false;
+      options.frontier_switch = FrontierSwitch::kFixedDensity;
       options.frontier_density_threshold = threshold;
       const TipResult r = ReceiptDecompose(g, options);
 
