@@ -354,7 +354,8 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
     return 2;
   }
   std::printf("listening on http://%s:%u (POST /v1/decompose, "
-              "GET|POST /v1/graphs, GET /healthz, GET /statz)\n",
+              "GET|POST /v1/graphs, GET /healthz, GET /statz, "
+              "GET /metrics, GET /v1/traces[/{id}])\n",
               http_options.bind_address.c_str(), http_server.port());
   std::fflush(stdout);
 
@@ -398,6 +399,33 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
       static_cast<unsigned long long>(sched.remote_steals));
   std::printf("workspace growths (all worker pools): %llu\n",
               static_cast<unsigned long long>(service.WorkspaceGrowths()));
+  // Final metrics snapshot: the same quantiles /statz serves, printed so a
+  // drained run leaves its latency profile in the log.
+  const auto print_quantiles = [](const char* label,
+                                  const obs::Histogram& histogram) {
+    std::printf("%s: count=%llu p50=%.6fs p95=%.6fs p99=%.6fs\n", label,
+                static_cast<unsigned long long>(histogram.Count()),
+                histogram.Quantile(0.50), histogram.Quantile(0.95),
+                histogram.Quantile(0.99));
+  };
+  std::printf("requests by outcome:");
+  for (const service::Status status :
+       {service::Status::kOk, service::Status::kNotFound,
+        service::Status::kBadRequest, service::Status::kCancelled,
+        service::Status::kShutdown}) {
+    std::printf(" %s=%llu", service::StatusName(status),
+                static_cast<unsigned long long>(
+                    service.RequestsWithOutcome(status)));
+  }
+  std::printf("\n");
+  print_quantiles("latency (request)", *service.request_latency_histogram());
+  print_quantiles("latency (queue wait)", *service.queue_wait_histogram());
+  print_quantiles("latency (engine run)", *service.engine_run_histogram());
+  std::printf("traces recorded: %llu (ring capacity %llu)\n",
+              static_cast<unsigned long long>(
+                  service.observability().traces.recorded()),
+              static_cast<unsigned long long>(
+                  service.observability().traces.capacity()));
   return 0;
 }
 

@@ -10,6 +10,7 @@
 #include "engine/bucket.h"
 #include "engine/min_heap.h"
 #include "engine/pairing_heap.h"
+#include "util/relaxed_counter.h"
 #include "util/types.h"
 
 namespace receipt::engine {
@@ -183,7 +184,7 @@ class MinExtractor {
   size_t batch_position_ = 0;
   Count batch_value_ = 0;
   PairingHeap pairing_;
-  uint64_t growths_ = 0;
+  util::RelaxedCounter growths_;
 };
 
 }  // namespace receipt::engine

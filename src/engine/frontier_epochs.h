@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/relaxed_counter.h"
+
 namespace receipt::engine {
 
 /// Shared claim bitmap for delta tracking during concurrent peeling: each
@@ -58,7 +60,7 @@ class FrontierEpochs {
  private:
   std::vector<uint32_t> stamps_;
   uint32_t epoch_ = 0;
-  uint64_t growths_ = 0;
+  util::RelaxedCounter growths_;
 };
 
 }  // namespace receipt::engine

@@ -19,6 +19,7 @@
 #include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
 #include "graph/dynamic_graph.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -178,6 +179,9 @@ struct CoarseOptions {
   /// Histogram-indexed range bounds + delta-patched ⊲⊳init (default) vs
   /// the legacy per-range O(n) scan path.
   bool use_support_index = true;
+  /// Span sink (null by default): the decomposer emits one
+  /// "engine.cd.range" span per produced subset.
+  obs::TraceContext trace;
 };
 
 /// Builds CoarseOptions from any driver option struct exposing the shared
@@ -192,6 +196,7 @@ CoarseOptions MakeCoarseOptions(const DriverOptions& options,
   coarse.frontier_density_threshold = options.frontier_density_threshold;
   coarse.frontier_switch = options.frontier_switch;
   coarse.use_support_index = options.use_support_index;
+  coarse.trace = options.trace;
   return coarse;
 }
 
@@ -271,6 +276,12 @@ class RangeDecomposer {
       if (control_ != nullptr && control_->Cancelled()) break;
       const uint32_t subset_index =
           static_cast<uint32_t>(result.subsets.size());
+      // One span per produced subset: boundary patch + bound determination
+      // + the whole range peel. Per-round spans would flood the flight
+      // recorder on large graphs; per-range matches the paper's unit of
+      // coarse work.
+      obs::ScopedSpan range_span(opts_.trace, "engine.cd.range",
+                                 subset_index);
 
       // Bring ⊲⊳init up to the state "after all lower subsets were fully
       // peeled" (Alg. 3 lines 6-7): a delta patch over the entities whose

@@ -10,7 +10,7 @@ namespace {
 /// assign() with growth telemetry: reuses capacity, counts the reallocation
 /// when it cannot.
 template <typename V, typename Fill>
-void AssignCounted(V& v, size_t n, Fill fill, uint64_t* growths) {
+void AssignCounted(V& v, size_t n, Fill fill, util::RelaxedCounter* growths) {
   if (v.capacity() < n) ++(*growths);
   v.assign(n, fill);
 }

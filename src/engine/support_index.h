@@ -9,6 +9,7 @@
 
 #include "engine/frontier_epochs.h"
 #include "util/parallel.h"
+#include "util/relaxed_counter.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -330,7 +331,7 @@ class SupportIndex {
   uint32_t shift_ = 0;
   uint64_t num_buckets_ = 0;
   uint64_t alive_ = 0;
-  uint64_t growths_ = 0;
+  util::RelaxedCounter growths_;
 
   std::vector<uint64_t> bucket_count_;
   std::vector<uint64_t> bucket_cost_;

@@ -13,6 +13,7 @@
 #include "engine/min_heap.h"
 #include "engine/support_index.h"
 #include "graph/induced_subgraph.h"
+#include "util/relaxed_counter.h"
 #include "util/types.h"
 #include "wing/edge_topology.h"
 
@@ -89,7 +90,9 @@ struct PeelWorkspace {
 
   /// Number of times a dense buffer actually grew. Stable once warm — the
   /// workspace-reuse tests assert no growth across rounds and partitions.
-  uint64_t growths = 0;
+  /// Relaxed-atomic so a live /statz or /metrics scrape can read it while
+  /// a request executes.
+  util::RelaxedCounter growths;
 
   /// Grows wedge_count to cover ids [0, n), zero-filling new slots. Never
   /// shrinks, so alternating between a graph and its induced subgraphs

@@ -7,6 +7,7 @@
 
 #include "graph/bipartite_graph.h"
 #include "graph/dynamic_graph.h"
+#include "util/relaxed_counter.h"
 #include "util/types.h"
 
 namespace receipt {
@@ -43,7 +44,8 @@ struct InducedSubgraphArena {
 
   /// Number of builds that had to grow one of the arena's buffers. Stable
   /// once warm — the arena-reuse tests assert no growth across partitions.
-  uint64_t growths = 0;
+  /// Relaxed-atomic so live telemetry scrapes can read it mid-request.
+  util::RelaxedCounter growths;
 
   /// Approximate capacity of all owned buffers, in elements.
   size_t CapacityFootprint() const {

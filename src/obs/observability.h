@@ -1,0 +1,21 @@
+#ifndef RECEIPT_OBS_OBSERVABILITY_H_
+#define RECEIPT_OBS_OBSERVABILITY_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace receipt::obs {
+
+/// The one observability bundle a process shares between its service,
+/// HTTP front-end, and CLI: a metrics registry and a span flight
+/// recorder. DecompositionService owns a private one when the embedder
+/// does not supply theirs, so instruments always exist and call sites
+/// never null-check.
+struct Observability {
+  MetricsRegistry metrics;
+  TraceRecorder traces{4096};
+};
+
+}  // namespace receipt::obs
+
+#endif  // RECEIPT_OBS_OBSERVABILITY_H_

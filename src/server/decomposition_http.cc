@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "graph/generators.h"
+#include "obs/trace.h"
 #include "util/json.h"
 
 namespace receipt::server {
@@ -54,12 +58,63 @@ void WriteGraphInfo(const std::string& name,
       .Key("num_edges").Uint(handle.graph().num_edges());
 }
 
+/// Strict hex trace-id parse for /v1/traces/{id} lookups (1–16 hex digits).
+/// Unlike ParseOrMintTraceId this never mints or hashes: a malformed id is
+/// a 400, not a lookup of some derived id.
+bool ParseStrictTraceId(std::string_view text, uint64_t* id) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *id = value;
+  return true;
+}
+
+void WriteSpanJson(const obs::TraceSpan& span, util::JsonWriter* writer) {
+  writer->BeginObject()
+      .Key("trace_id").String(obs::FormatTraceId(span.trace_id))
+      .Key("name").String(std::string(span.Name()))
+      .Key("start_ns").Uint(span.start_ns)
+      .Key("duration_ns").Uint(span.duration_ns)
+      .Key("arg").Uint(span.arg)
+      .EndObject();
+}
+
+/// p50/p95/p99 summary of one latency histogram, in seconds.
+void WriteQuantiles(const char* key, const obs::Histogram& histogram,
+                    util::JsonWriter* writer) {
+  writer->Key(key)
+      .BeginObject()
+      .Key("count").Uint(histogram.Count())
+      .Key("p50_seconds").Double(histogram.Quantile(0.50))
+      .Key("p95_seconds").Double(histogram.Quantile(0.95))
+      .Key("p99_seconds").Double(histogram.Quantile(0.99))
+      .EndObject();
+}
+
 }  // namespace
 
 DecompositionHttpFrontend::DecompositionHttpFrontend(
     service::GraphRegistry& registry, service::DecompositionService& service,
     HttpServer& server)
-    : registry_(&registry), service_(&service), server_(&server) {
+    : registry_(&registry),
+      service_(&service),
+      server_(&server),
+      obs_(&service.observability()) {
+  http_request_seconds_ = obs_->metrics.GetHistogram(
+      "receipt_http_request_seconds",
+      "Wall time of /v1/decompose handling, socket parse to response body");
   server.Handle("POST", "/v1/decompose",
                 [this](const HttpRequest& r) { return HandleDecompose(r); });
   server.Handle("GET", "/v1/graphs",
@@ -71,26 +126,72 @@ DecompositionHttpFrontend::DecompositionHttpFrontend(
                 [this](const HttpRequest& r) { return HandleHealthz(r); });
   server.Handle("GET", "/statz",
                 [this](const HttpRequest& r) { return HandleStatz(r); });
+  server.Handle("GET", "/metrics",
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server.Handle("GET", "/v1/traces",
+                [this](const HttpRequest& r) { return HandleTraces(r); });
+  server.HandlePrefix("GET", "/v1/traces/", [this](const HttpRequest& r) {
+    return HandleTraceById(r);
+  });
+}
+
+void DecompositionHttpFrontend::CountHttpRequest(const std::string& path) {
+  obs_->metrics
+      .GetCounter("receipt_http_requests_total",
+                  "HTTP requests dispatched to a handler, by path",
+                  {{"path", path}})
+      ->Increment();
 }
 
 HttpResponse DecompositionHttpFrontend::HandleDecompose(
     const HttpRequest& http_request) {
+  const uint64_t handler_start_ns = obs::TraceRecorder::NowNs();
   decompose_requests_.fetch_add(1, std::memory_order_relaxed);
+  CountHttpRequest("/v1/decompose");
 
+  // Mint (or accept) the request's trace identity before anything can fail,
+  // so even a 400 carries the id the client can look up.
+  uint64_t trace_id = 0;
+  if (const auto it = http_request.headers.find("x-request-id");
+      it != http_request.headers.end()) {
+    trace_id = obs::ParseOrMintTraceId(it->second);
+  } else {
+    trace_id = obs::MintTraceId();
+  }
+  obs::TraceContext trace{&obs_->traces, trace_id};
+  const std::string trace_id_text = obs::FormatTraceId(trace_id);
+
+  // Socket read + header parse happened before dispatch; backdate the span
+  // to cover it.
+  if (http_request.parse_ns != 0 && handler_start_ns > http_request.parse_ns) {
+    trace.Emit("http.parse", handler_start_ns - http_request.parse_ns,
+               http_request.parse_ns, http_request.body.size());
+  }
+
+  auto finish = [&](HttpResponse response) {
+    response.extra_headers.emplace_back("X-Request-Id", trace_id_text);
+    http_request_seconds_->Observe(obs::TraceRecorder::NowNs() -
+                                   handler_start_ns);
+    return response;
+  };
+
+  const uint64_t parse_start_ns = obs::TraceRecorder::NowNs();
   std::string error;
   const auto json = util::JsonValue::Parse(http_request.body, &error);
-  if (!json) return JsonError(400, "malformed JSON: " + error);
+  if (!json) return finish(JsonError(400, "malformed JSON: " + error));
   Request request;
   if (!service::RequestFromJson(*json, &request, &error)) {
-    return JsonError(400, error);
+    return finish(JsonError(400, error));
   }
+  trace.EmitSince("request.parse", parse_start_ns);
+  request.trace = trace;
 
   auto ticket = service_->TrySubmitTicket(request);
   if (!ticket) {
     rejected_busy_.fetch_add(1, std::memory_order_relaxed);
     HttpResponse busy = JsonError(429, "request queue is full");
     busy.extra_headers.emplace_back("Retry-After", "1");
-    return busy;
+    return finish(std::move(busy));
   }
 
   // Wait for the engine, watching the socket: a client that hangs up stops
@@ -107,20 +208,85 @@ HttpResponse DecompositionHttpFrontend::HandleDecompose(
       service_->Abandon(*ticket);
       // 499 is written into a dead socket — harmless — but keeps the
       // response path uniform and the stats honest.
-      return JsonError(499, "client disconnected; request abandoned");
+      return finish(JsonError(499, "client disconnected; request abandoned"));
     }
   }
 
   const Response response = future.get();
+  const uint64_t serialize_start_ns = obs::TraceRecorder::NowNs();
   util::JsonWriter writer;
   service::WriteResponseJson(request, response, &writer);
   HttpResponse http_response;
   http_response.status = HttpStatusFor(response.status);
   http_response.body = writer.Take();
-  return http_response;
+  trace.EmitSince("response.serialize", serialize_start_ns,
+                  http_response.body.size());
+  return finish(std::move(http_response));
+}
+
+HttpResponse DecompositionHttpFrontend::HandleMetrics(const HttpRequest&) {
+  CountHttpRequest("/metrics");
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs_->metrics.RenderPrometheus();
+  return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleTraces(
+    const HttpRequest& http_request) {
+  CountHttpRequest("/v1/traces");
+  size_t limit = 256;
+  if (http_request.query.compare(0, 6, "limit=") == 0) {
+    const std::string value = http_request.query.substr(6);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return JsonError(400, "'limit' must be a non-negative integer");
+    }
+    limit = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  } else if (!http_request.query.empty()) {
+    return JsonError(400, "unsupported query; use ?limit=N");
+  }
+
+  const std::vector<obs::TraceSpan> spans = obs_->traces.Snapshot(limit);
+  util::JsonWriter writer;
+  writer.BeginObject()
+      .Key("capacity").Uint(obs_->traces.capacity())
+      .Key("recorded").Uint(obs_->traces.recorded())
+      .Key("spans").BeginArray();
+  for (const obs::TraceSpan& span : spans) WriteSpanJson(span, &writer);
+  writer.EndArray().EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleTraceById(
+    const HttpRequest& http_request) {
+  CountHttpRequest("/v1/traces/{id}");
+  constexpr std::string_view kPrefix = "/v1/traces/";
+  const std::string id_text = http_request.path.substr(kPrefix.size());
+  uint64_t trace_id = 0;
+  if (!ParseStrictTraceId(id_text, &trace_id)) {
+    return JsonError(400, "trace id must be 1-16 hex digits");
+  }
+  const std::vector<obs::TraceSpan> spans = obs_->traces.ForTrace(trace_id);
+  if (spans.empty()) {
+    return JsonError(404, "no spans recorded for trace '" + id_text +
+                              "' (evicted from the ring, or never traced)");
+  }
+  util::JsonWriter writer;
+  writer.BeginObject()
+      .Key("trace_id").String(obs::FormatTraceId(trace_id))
+      .Key("spans").BeginArray();
+  for (const obs::TraceSpan& span : spans) WriteSpanJson(span, &writer);
+  writer.EndArray().EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
 }
 
 HttpResponse DecompositionHttpFrontend::HandleListGraphs(const HttpRequest&) {
+  CountHttpRequest("/v1/graphs");
   util::JsonWriter writer;
   writer.BeginObject().Key("graphs").BeginArray();
   for (const std::string& name : registry_->Names()) {
@@ -138,6 +304,7 @@ HttpResponse DecompositionHttpFrontend::HandleListGraphs(const HttpRequest&) {
 
 HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
     const HttpRequest& http_request) {
+  CountHttpRequest("/v1/graphs");
   std::string error;
   const auto json = util::JsonValue::Parse(http_request.body, &error);
   if (!json) return JsonError(400, "malformed JSON: " + error);
@@ -186,6 +353,7 @@ HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
 }
 
 HttpResponse DecompositionHttpFrontend::HandleHealthz(const HttpRequest&) {
+  CountHttpRequest("/healthz");
   util::JsonWriter writer;
   writer.BeginObject()
       .Key("status").String("ok")
@@ -197,6 +365,7 @@ HttpResponse DecompositionHttpFrontend::HandleHealthz(const HttpRequest&) {
 }
 
 HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
+  CountHttpRequest("/statz");
   const service::DecompositionService::Stats service_stats =
       service_->stats();
   const service::ResultCache::Stats cache = service_->cache_stats();
@@ -275,9 +444,14 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Key("graphs_registered")
       .Uint(graphs_registered_.load(std::memory_order_relaxed))
       .EndObject();
-  // WorkspaceGrowths() is deliberately absent: its counters are plain
-  // per-pool integers only safe to read while no request executes, which
-  // /statz cannot guarantee. The CLI prints it after Shutdown instead.
+  // Growth counters are relaxed atomics, so sampling them mid-request is
+  // safe; a steady-state workload shows this flat (hot path allocation-free).
+  writer.Key("workspace_growths").Uint(service_->WorkspaceGrowths());
+  writer.Key("latency").BeginObject();
+  WriteQuantiles("request", *service_->request_latency_histogram(), &writer);
+  WriteQuantiles("queue_wait", *service_->queue_wait_histogram(), &writer);
+  WriteQuantiles("engine_run", *service_->engine_run_histogram(), &writer);
+  writer.EndObject();
   writer.EndObject();
 
   HttpResponse response;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/observability.h"
 #include "server/http_server.h"
 #include "service/decomposition_service.h"
 #include "service/graph_registry.h"
@@ -22,6 +23,14 @@ namespace receipt::server {
 ///   POST /v1/graphs      register/load a graph (re-register bumps epoch)
 ///   GET  /healthz        liveness
 ///   GET  /statz          queue depth, cache hit rate, worker utilization
+///   GET  /metrics        Prometheus text exposition of every instrument
+///   GET  /v1/traces      recent spans from the trace ring (?limit=N)
+///   GET  /v1/traces/{id} all spans of one trace, oldest first
+///
+/// Every /v1/decompose request gets a trace id — minted here, or accepted
+/// from an X-Request-Id header — that is echoed in the response (header and
+/// body) and keys the spans recorded across transport parse, queue wait and
+/// the engine phases. The service's Observability bundle is the single sink.
 ///
 /// Admission control: a full service queue turns into HTTP 429 (ticketed
 /// non-blocking submit — handler threads never block on backpressure), and
@@ -48,10 +57,19 @@ class DecompositionHttpFrontend {
   HttpResponse HandleRegisterGraph(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request);
   HttpResponse HandleStatz(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleTraces(const HttpRequest& request);
+  HttpResponse HandleTraceById(const HttpRequest& request);
+
+  /// Bump receipt_http_requests_total{path=...}, lazily registering the
+  /// label child on first sight of the path.
+  void CountHttpRequest(const std::string& path);
 
   service::GraphRegistry* registry_;
   service::DecompositionService* service_;
   HttpServer* server_;
+  obs::Observability* obs_;
+  obs::Histogram* http_request_seconds_;
 
   std::atomic<uint64_t> decompose_requests_{0};
   std::atomic<uint64_t> rejected_busy_{0};

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -110,6 +111,12 @@ HttpServer::~HttpServer() { Stop(); }
 void HttpServer::Handle(const std::string& method, const std::string& path,
                         HttpHandler handler) {
   routes_[path][method] = std::move(handler);
+}
+
+void HttpServer::HandlePrefix(const std::string& method,
+                              const std::string& prefix,
+                              HttpHandler handler) {
+  prefix_routes_[prefix][method] = std::move(handler);
 }
 
 bool HttpServer::Start(std::string* error) {
@@ -237,6 +244,7 @@ void HttpServer::HandlerLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
+  const auto serve_start = std::chrono::steady_clock::now();
   timeval timeout{};
   timeout.tv_sec = options_.recv_timeout_ms / 1000;
   timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
@@ -357,18 +365,36 @@ void HttpServer::ServeConnection(int fd) {
     }
   }
   request.body = buffer.substr(body_start, content_length);
+  request.parse_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - serve_start)
+          .count());
 
-  // Route dispatch: exact path, then method.
-  const auto path_it = routes_.find(request.path);
+  // Route dispatch: exact path, then the longest matching prefix route,
+  // then method within the winning path.
+  const std::map<std::string, HttpHandler>* methods = nullptr;
+  if (const auto path_it = routes_.find(request.path);
+      path_it != routes_.end()) {
+    methods = &path_it->second;
+  } else {
+    size_t best_len = 0;
+    for (const auto& [prefix, handlers] : prefix_routes_) {
+      if (prefix.size() >= best_len &&
+          request.path.compare(0, prefix.size(), prefix) == 0) {
+        best_len = prefix.size();
+        methods = &handlers;
+      }
+    }
+  }
   HttpResponse response;
-  if (path_it == routes_.end()) {
+  if (methods == nullptr) {
     response.status = 404;
     response.body = "{\"status\":\"error\",\"error\":\"no such endpoint\"}";
-  } else if (const auto method_it = path_it->second.find(request.method);
-             method_it == path_it->second.end()) {
+  } else if (const auto method_it = methods->find(request.method);
+             method_it == methods->end()) {
     response.status = 405;
     std::string allow;
-    for (const auto& [method, handler] : path_it->second) {
+    for (const auto& [method, handler] : *methods) {
       if (!allow.empty()) allow += ", ";
       allow += method;
     }

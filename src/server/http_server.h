@@ -57,6 +57,10 @@ struct HttpRequest {
   bool ClientDisconnected() const;
 
   int client_fd = -1;  ///< owned by the server, valid during the handler
+  /// Wall time (steady-clock ns) spent reading and parsing this request off
+  /// the socket before dispatch — includes waiting for the client to send.
+  /// Handlers that trace requests turn it into an "http.parse" span.
+  uint64_t parse_ns = 0;
 };
 
 struct HttpResponse {
@@ -89,6 +93,12 @@ class HttpServer {
   void Handle(const std::string& method, const std::string& path,
               HttpHandler handler);
 
+  /// Registers `handler` for any path beginning with `prefix` (e.g.
+  /// "/v1/traces/" to capture "/v1/traces/{id}"). Exact routes win; among
+  /// prefix routes the longest matching prefix wins. Must precede Start().
+  void HandlePrefix(const std::string& method, const std::string& prefix,
+                    HttpHandler handler);
+
   /// Binds, listens and spawns the accept/handler threads. Returns false
   /// with *error set when the socket cannot be bound.
   bool Start(std::string* error = nullptr);
@@ -120,6 +130,8 @@ class HttpServer {
 
   const HttpServerOptions options_;
   std::map<std::string, std::map<std::string, HttpHandler>> routes_;
+  /// Prefix-matched fallbacks, consulted only when no exact path matches.
+  std::map<std::string, std::map<std::string, HttpHandler>> prefix_routes_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -30,6 +30,14 @@ DecompositionService::DecompositionService(GraphRegistry& registry,
     : registry_(&registry),
       options_(NormalizeOptions(options)),
       cache_(options.cache_bytes) {
+  if (options_.observability != nullptr) {
+    obs_ = options_.observability;
+  } else {
+    owned_obs_ = std::make_unique<obs::Observability>();
+    obs_ = owned_obs_.get();
+  }
+  RegisterInstruments();
+
   const int num_workers = std::max(0, options_.num_workers);
 
   // Scheduling domains: forced virtual nodes (tests), else the machine's
@@ -68,6 +76,89 @@ DecompositionService::DecompositionService(GraphRegistry& registry,
 }
 
 DecompositionService::~DecompositionService() { Shutdown(/*drain=*/true); }
+
+void DecompositionService::RegisterInstruments() {
+  obs::MetricsRegistry& m = obs_->metrics;
+  constexpr Status kStatuses[] = {Status::kOk, Status::kNotFound,
+                                  Status::kBadRequest, Status::kCancelled,
+                                  Status::kShutdown};
+  for (const Status s : kStatuses) {
+    requests_by_outcome_[static_cast<size_t>(s)] =
+        m.GetCounter("receipt_requests_total",
+                     "Decomposition requests resolved, by outcome.",
+                     {{"outcome", StatusName(s)}});
+  }
+  cache_hits_total_ = m.GetCounter(
+      "receipt_cache_hits_total", "Responses served from the ResultCache.");
+  coalesced_total_ = m.GetCounter(
+      "receipt_coalesced_total",
+      "Submits joined to an identical in-flight request.");
+  engine_runs_total_ = m.GetCounter("receipt_engine_runs_total",
+                                    "Actual decomposition engine executions.");
+  request_latency_ = m.GetHistogram(
+      "receipt_request_latency_seconds",
+      "Admission-to-response latency of queued decomposition requests.");
+  queue_wait_ = m.GetHistogram(
+      "receipt_queue_wait_seconds",
+      "Dequeue-to-start delay: time a request sat in its node queue.");
+  engine_seconds_ = m.GetHistogram(
+      "receipt_engine_run_seconds",
+      "Wall time of one decomposition engine run (seconds_total).");
+  const char* wedges_help = "Wedges traversed by engine runs, by phase.";
+  wedges_counting_ = m.GetCounter("receipt_engine_wedges_total", wedges_help,
+                                  {{"phase", "counting"}});
+  wedges_cd_ = m.GetCounter("receipt_engine_wedges_total", wedges_help,
+                            {{"phase", "cd"}});
+  wedges_fd_ = m.GetCounter("receipt_engine_wedges_total", wedges_help,
+                            {{"phase", "fd"}});
+  wedges_other_ = m.GetCounter("receipt_engine_wedges_total", wedges_help,
+                               {{"phase", "other"}});
+  const char* rounds_help = "Engine scheduling rounds, by kind.";
+  rounds_sync_ = m.GetCounter("receipt_engine_rounds_total", rounds_help,
+                              {{"kind", "sync"}});
+  rounds_frontier_ = m.GetCounter("receipt_engine_rounds_total", rounds_help,
+                                  {{"kind", "frontier"}});
+  rounds_scan_ = m.GetCounter("receipt_engine_rounds_total", rounds_help,
+                              {{"kind", "scan"}});
+  rounds_index_ = m.GetCounter("receipt_engine_rounds_total", rounds_help,
+                               {{"kind", "index_build"}});
+  huc_recounts_total_ =
+      m.GetCounter("receipt_engine_huc_recounts_total",
+                   "Hybrid Update Computation re-counts across runs.");
+  dgm_compactions_total_ =
+      m.GetCounter("receipt_engine_dgm_compactions_total",
+                   "Dynamic Graph Maintenance compactions across runs.");
+  fd_local_pops_total_ = m.GetCounter(
+      "receipt_engine_fd_local_pops_total",
+      "FD scheduler tasks popped from the home node queue.");
+  fd_remote_steals_total_ = m.GetCounter(
+      "receipt_engine_fd_remote_steals_total",
+      "FD scheduler tasks stolen from another node's queue.");
+  makespan_predicted_ = m.GetGauge(
+      "receipt_engine_makespan_predicted",
+      "Predicted per-node peel-cost makespan of the most recent run.");
+  makespan_measured_ = m.GetGauge(
+      "receipt_engine_makespan_measured",
+      "Measured per-node wedge-work makespan of the most recent run.");
+}
+
+void DecompositionService::BridgePeelStats(const PeelStats& stats) {
+  wedges_counting_->Increment(stats.wedges_counting);
+  wedges_cd_->Increment(stats.wedges_cd);
+  wedges_fd_->Increment(stats.wedges_fd);
+  wedges_other_->Increment(stats.wedges_other);
+  rounds_sync_->Increment(stats.sync_rounds);
+  rounds_frontier_->Increment(stats.frontier_rounds);
+  rounds_scan_->Increment(stats.scan_rounds);
+  rounds_index_->Increment(stats.index_build_rounds);
+  huc_recounts_total_->Increment(stats.huc_recounts);
+  dgm_compactions_total_->Increment(stats.dgm_compactions);
+  fd_local_pops_total_->Increment(stats.placement_local_pops);
+  fd_remote_steals_total_->Increment(stats.placement_remote_steals);
+  makespan_predicted_->Set(stats.makespan_predicted);
+  makespan_measured_->Set(stats.makespan_measured);
+  engine_seconds_->ObserveSeconds(stats.seconds_total);
+}
 
 std::shared_future<Response> DecompositionService::ReadyResponse(
     Response response) {
@@ -140,6 +231,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
                       AlgorithmName(request.algorithm) +
                       " cannot serve a " + RequestKindName(request.kind) +
                       " request";
+    OutcomeCounter(Status::kBadRequest)->Increment();
     return ReadyResponse(std::move(rejection));
   }
 
@@ -147,6 +239,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
   if (!handle) {
     rejection.status = Status::kNotFound;
     rejection.error = "graph '" + request.graph + "' is not registered";
+    OutcomeCounter(Status::kNotFound)->Increment();
     return ReadyResponse(std::move(rejection));
   }
 
@@ -170,6 +263,8 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
     response.payload = std::move(hit);
     response.cache_hit = true;
     response.graph_epoch = cache_key.epoch;
+    cache_hits_total_->Increment();
+    OutcomeCounter(Status::kOk)->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
     ++stats_.cache_hits;
@@ -182,6 +277,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
     if (stopping_) {
       rejection.status = Status::kShutdown;
       rejection.error = "service is shutting down";
+      OutcomeCounter(Status::kShutdown)->Increment();
       return ReadyResponse(std::move(rejection));
     }
     // Coalesce with an identical queued or executing request: both callers
@@ -194,6 +290,15 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
         ++twin->extra_submitters;
         ++stats_.submitted;
         ++stats_.coalesced;
+        coalesced_total_->Increment();
+        // Instantaneous marker on the *joining* request's trace pointing
+        // at the run it attached to; the engine spans live on the first
+        // submitter's trace id.
+        if (normalized.trace.enabled()) {
+          normalized.trace.Emit("coalesce.attach",
+                                obs::TraceRecorder::NowNs(), 0,
+                                twin->request.trace.trace_id);
+        }
         if (out_task != nullptr) *out_task = twin;
         return twin->future;
       }
@@ -213,6 +318,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
   task->cache_key = cache_key;
   task->coalesce_key = coalesce_key;
   task->future = task->promise.get_future().share();
+  task->enqueue_ns = obs::TraceRecorder::NowNs();
   const int node = RouteLocked(task->request.graph);
   node_queues_[static_cast<size_t>(node)].push_back(task);
   inflight_[coalesce_key] = task;
@@ -326,6 +432,17 @@ size_t DecompositionService::RunQueuedInline() {
 
 void DecompositionService::ExecuteTask(const std::shared_ptr<Task>& task,
                                        engine::WorkspacePool& pool) {
+  // Queue wait: admission stamp → this worker picking the task up. Spans
+  // the same interval whether the task then runs, re-hits the cache, or
+  // was cancelled while waiting.
+  const uint64_t start_ns = obs::TraceRecorder::NowNs();
+  if (task->enqueue_ns != 0) {
+    const uint64_t wait_ns =
+        start_ns >= task->enqueue_ns ? start_ns - task->enqueue_ns : 0;
+    queue_wait_->Observe(wait_ns);
+    task->request.trace.Emit("queue.wait", task->enqueue_ns, wait_ns);
+  }
+
   Response response;
   response.graph_epoch = task->cache_key.epoch;
   // Double-checked cache: an identical request may have completed between
@@ -333,6 +450,7 @@ void DecompositionService::ExecuteTask(const std::shared_ptr<Task>& task,
   if (auto hit = cache_.Get(task->cache_key)) {
     response.payload = std::move(hit);
     response.cache_hit = true;
+    cache_hits_total_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.cache_hits;
   } else if (task->control.Cancelled()) {
@@ -343,8 +461,10 @@ void DecompositionService::ExecuteTask(const std::shared_ptr<Task>& task,
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.engine_runs;
     }
+    engine_runs_total_->Increment();
     response = RunEngine(*task, pool);
     if (response.status == Status::kOk) {
+      BridgePeelStats(response.payload->stats);
       cache_.Put(task->cache_key, response.payload);
     }
   }
@@ -353,6 +473,7 @@ void DecompositionService::ExecuteTask(const std::shared_ptr<Task>& task,
 
 Response DecompositionService::RunEngine(Task& task,
                                          engine::WorkspacePool& pool) {
+  obs::ScopedSpan run_span(task.request.trace, "engine.run");
   Response response;
   response.graph_epoch = task.cache_key.epoch;
   const BipartiteGraph& graph = task.handle.graph();
@@ -382,6 +503,7 @@ Response DecompositionService::RunEngine(Task& task,
       options.use_support_index = options_.use_support_index;
       options.workspace_pool = &pool;
       options.control = &task.control;
+      options.trace = task.request.trace;
       TipResult result =
           task.request.algorithm == Algorithm::kBup ? BupDecompose(graph, options)
           : task.request.algorithm == Algorithm::kParb
@@ -392,8 +514,8 @@ Response DecompositionService::RunEngine(Task& task,
       break;
     }
     case Algorithm::kWingBup: {
-      WingResult result =
-          WingDecompose(graph, threads, &pool, &task.control);
+      WingResult result = WingDecompose(graph, threads, &pool, &task.control,
+                                        task.request.trace);
       payload->numbers = std::move(result.wing_numbers);
       payload->stats = result.stats;
       break;
@@ -408,6 +530,7 @@ Response DecompositionService::RunEngine(Task& task,
       options.use_support_index = options_.use_support_index;
       options.workspace_pool = &pool;
       options.control = &task.control;
+      options.trace = task.request.trace;
       WingResult result = ReceiptWingDecompose(graph, options);
       payload->numbers = std::move(result.wing_numbers);
       payload->stats = result.stats;
@@ -426,6 +549,13 @@ Response DecompositionService::RunEngine(Task& task,
 
 void DecompositionService::FinishTask(const std::shared_ptr<Task>& task,
                                       Response response) {
+  OutcomeCounter(response.status)->Increment();
+  if (task->enqueue_ns != 0) {
+    const uint64_t now = obs::TraceRecorder::NowNs();
+    if (now > task->enqueue_ns) {
+      request_latency_->Observe(now - task->enqueue_ns);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     response.coalesced = task->extra_submitters > 0;

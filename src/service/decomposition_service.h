@@ -15,6 +15,7 @@
 
 #include "engine/peel_control.h"
 #include "engine/workspace.h"
+#include "obs/observability.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
 #include "service/service_types.h"
@@ -69,6 +70,13 @@ struct ServiceOptions {
   /// WorkspacePool, so its buckets/stamps are reused across requests like
   /// the rest of the per-worker scratch. Not part of the cache key.
   bool use_support_index = true;
+
+  /// Metrics registry + trace flight recorder the service reports through.
+  /// When null the service owns a private bundle, so instruments always
+  /// exist; embedders (the HTTP front-end, the CLI) pass one shared bundle
+  /// so request metrics, engine spans and transport metrics land in the
+  /// same /metrics exposition. Must outlive the service when set.
+  obs::Observability* observability = nullptr;
 };
 
 /// The decomposition serving layer: turns the one-shot drivers into a
@@ -197,8 +205,31 @@ class DecompositionService {
 
   /// Sum of buffer-growth events across all service-owned workspace pools.
   /// Flat across a steady-state workload = the hot path is allocation-free.
-  /// Only meaningful while no request is executing.
+  /// The counters are relaxed atomics, so this is safe to sample from any
+  /// thread at any time — /statz and /metrics scrape it live.
   uint64_t WorkspaceGrowths() const;
+
+  /// The bundle this service reports through: the one passed in
+  /// ServiceOptions, else the service-owned fallback. Front-ends render
+  /// /metrics and /v1/traces from it.
+  obs::Observability& observability() const { return *obs_; }
+
+  /// Latency histograms for quantile summaries (/statz, CLI drain): end to
+  /// end from admission to response, dequeue-to-start queue wait, and
+  /// engine wall time. Never null.
+  const obs::Histogram* request_latency_histogram() const {
+    return request_latency_;
+  }
+  const obs::Histogram* queue_wait_histogram() const { return queue_wait_; }
+  const obs::Histogram* engine_run_histogram() const {
+    return engine_seconds_;
+  }
+
+  /// Terminal-status counts (receipt_requests_total children), for the
+  /// CLI's drain summary.
+  uint64_t RequestsWithOutcome(Status status) const {
+    return OutcomeCounter(status)->Value();
+  }
 
   GraphRegistry& registry() { return *registry_; }
 
@@ -227,6 +258,10 @@ class DecompositionService {
     std::shared_future<Response> future;
     uint64_t extra_submitters = 0;  ///< guarded by the service mutex
     uint64_t abandoned = 0;         ///< guarded by the service mutex
+    /// Admission stamp (steady ns) taken when the task entered its node
+    /// queue: dequeue-to-start delta feeds the queue-wait histogram, and
+    /// the full delta at FinishTask is the request latency.
+    uint64_t enqueue_ns = 0;
   };
 
   struct Worker {
@@ -236,6 +271,15 @@ class DecompositionService {
   };
 
   static std::shared_future<Response> ReadyResponse(Response response);
+
+  /// Resolves instrument handles out of the registry once, at
+  /// construction; the request path then touches only relaxed atomics.
+  void RegisterInstruments();
+  obs::Counter* OutcomeCounter(Status status) const {
+    return requests_by_outcome_[static_cast<size_t>(status)];
+  }
+  /// Folds one completed engine run's PeelStats into the fleet counters.
+  void BridgePeelStats(const PeelStats& stats);
 
   std::shared_future<Response> SubmitImpl(const Request& request,
                                           bool may_block, bool* would_block,
@@ -262,6 +306,33 @@ class DecompositionService {
   GraphRegistry* registry_;
   const ServiceOptions options_;
   ResultCache cache_;
+
+  /// Owned fallback bundle (allocated iff options.observability == null);
+  /// obs_ always points at the live bundle.
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_ = nullptr;
+  /// Cached instrument handles (stable pointers into the registry).
+  obs::Counter* requests_by_outcome_[5] = {};
+  obs::Counter* cache_hits_total_ = nullptr;
+  obs::Counter* coalesced_total_ = nullptr;
+  obs::Counter* engine_runs_total_ = nullptr;
+  obs::Histogram* request_latency_ = nullptr;
+  obs::Histogram* queue_wait_ = nullptr;
+  obs::Histogram* engine_seconds_ = nullptr;
+  obs::Counter* wedges_counting_ = nullptr;
+  obs::Counter* wedges_cd_ = nullptr;
+  obs::Counter* wedges_fd_ = nullptr;
+  obs::Counter* wedges_other_ = nullptr;
+  obs::Counter* rounds_sync_ = nullptr;
+  obs::Counter* rounds_frontier_ = nullptr;
+  obs::Counter* rounds_scan_ = nullptr;
+  obs::Counter* rounds_index_ = nullptr;
+  obs::Counter* huc_recounts_total_ = nullptr;
+  obs::Counter* dgm_compactions_total_ = nullptr;
+  obs::Counter* fd_local_pops_total_ = nullptr;
+  obs::Counter* fd_remote_steals_total_ = nullptr;
+  obs::Gauge* makespan_predicted_ = nullptr;
+  obs::Gauge* makespan_measured_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable queue_not_empty_;

@@ -134,6 +134,9 @@ void WriteResponseJson(const Request& request, const Response& response,
       .Key("graph_epoch").Uint(response.graph_epoch)
       .Key("cache_hit").Bool(response.cache_hit)
       .Key("coalesced").Bool(response.coalesced);
+  if (request.trace.trace_id != 0) {
+    writer->Key("trace_id").String(obs::FormatTraceId(request.trace.trace_id));
+  }
   if (!response.error.empty()) writer->Key("error").String(response.error);
   if (response.status == Status::kOk && response.payload != nullptr) {
     const Payload& payload = *response.payload;

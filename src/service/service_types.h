@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -69,6 +70,11 @@ struct Request {
   int partitions = 150;
   /// OpenMP threads the executing worker devotes to this request.
   int threads = 1;
+  /// Span sink + per-request identity, minted (or accepted from
+  /// X-Request-Id) at the front-end. Null by default; not part of the
+  /// cache/coalesce key — coalesced twins share the first submitter's
+  /// engine spans, and tracing never changes results.
+  obs::TraceContext trace;
 };
 
 /// Terminal state of a request.

@@ -7,6 +7,7 @@
 #include "engine/graph_maintenance.h"
 #include "engine/peel_engine.h"
 #include "graph/dynamic_graph.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -29,12 +30,19 @@ CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
   pool.Prepare(std::max(1, num_threads), graph.num_vertices());
 
   // Support initialization via pvBcnt (Alg. 3 line 2).
+  const uint64_t count_start_ns = options.trace.enabled()
+                                      ? obs::TraceRecorder::NowNs()
+                                      : 0;
   WallTimer count_timer;
   std::vector<Count> support(graph.num_vertices(), 0);
   stats->wedges_counting +=
       engine::CountVertexButterflies(live, pool, num_threads, support);
   stats->seconds_counting = count_timer.Seconds();
+  options.trace.EmitSince("engine.count", count_start_ns,
+                          stats->wedges_counting);
 
+  const uint64_t cd_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const WallTimer cd_timer;
 
   // Static per-vertex wedge counts w[u] — the workload proxy for range
@@ -55,6 +63,7 @@ CdResult ReceiptCd(const BipartiteGraph& graph, const TipOptions& options,
 
   stats->dgm_compactions += maintenance.compactions();
   stats->seconds_cd = cd_timer.Seconds();
+  options.trace.EmitSince("engine.cd", cd_start_ns, cd.subsets.size());
   return cd;
 }
 

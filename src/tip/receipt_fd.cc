@@ -100,6 +100,8 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
                const TipOptions& options, engine::WorkspacePool& pool,
                std::span<Count> tip_numbers, PeelStats* stats) {
   const WallTimer fd_timer;
+  const uint64_t fd_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const uint32_t num_subsets = static_cast<uint32_t>(cd.subsets.size());
   if (num_subsets == 0) return;
   const int num_threads = std::max(1, options.num_threads);
@@ -227,6 +229,7 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
   }
   stats->makespan_measured = std::max(stats->makespan_measured, measured);
   stats->seconds_fd = fd_timer.Seconds();
+  options.trace.EmitSince("engine.fd", fd_start_ns, num_subsets);
 }
 
 }  // namespace receipt

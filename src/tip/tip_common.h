@@ -6,6 +6,7 @@
 
 #include "engine/cost_model.h"
 #include "engine/extraction.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -101,6 +102,12 @@ struct TipOptions {
   /// cancellation fires mid-run the returned tip numbers are incomplete;
   /// callers must check control->Cancelled() before trusting the result.
   engine::PeelControl* control = nullptr;
+
+  /// Span sink + request identity for phase tracing. Default-constructed it
+  /// is a null sink: every emission bails on one pointer test before
+  /// touching the clock (bench_obs_micro gates that the disabled path adds
+  /// no measurable overhead). Tracing never changes results.
+  obs::TraceContext trace;
 };
 
 /// Output of a tip decomposition.

@@ -1,0 +1,60 @@
+#ifndef RECEIPT_UTIL_RELAXED_COUNTER_H_
+#define RECEIPT_UTIL_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace receipt::util {
+
+/// A monotonically-growing event counter whose writers never contend on a
+/// lock and whose readers may sample it from any thread at any time.
+///
+/// The engine's growth counters (workspace arenas, SupportIndex storage,
+/// frontier epochs) used to be plain uint64_t: cheap to bump from the one
+/// thread that owns the workspace, but undefined behaviour to read while a
+/// request executes — which is exactly what a live /statz or /metrics
+/// scrape does. This wrapper keeps the single-writer bump as one relaxed
+/// fetch_add (no fence on x86/ARM beyond the RMW itself) and makes the
+/// cross-thread read well-defined. Relaxed ordering is sufficient: each
+/// counter is an independent statistic, never used to publish other data.
+///
+/// Unlike std::atomic, it is copyable (a copy snapshots the value), so
+/// structs holding one remain vector-resizable, and it converts implicitly
+/// to uint64_t so existing call sites — `uint64_t warm = arena.growths;`,
+/// `total += ws.growths;` — compile unchanged.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t value) : value_(value) {}  // NOLINT: implicit
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    store(value);
+    return *this;
+  }
+
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return load(); }  // NOLINT: implicit
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  void store(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace receipt::util
+
+#endif  // RECEIPT_UTIL_RELAXED_COUNTER_H_

@@ -128,15 +128,22 @@ engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
   pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
                graph.num_v());
 
+  const uint64_t count_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   WallTimer count_timer;
   std::vector<Count> support(num_edges, 0);
   stats->wedges_counting +=
       engine::CountEdgeButterflies(graph, pool, options.num_threads, support);
   stats->seconds_counting += count_timer.Seconds();
+  options.trace.EmitSince("engine.count", count_start_ns,
+                          stats->wedges_counting);
 
+  const uint64_t cd_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const WallTimer cd_timer;
   coarse = CoarseWingDecompose(graph, topo, options, support, pool, stats);
   stats->seconds_cd += cd_timer.Seconds();
+  options.trace.EmitSince("engine.cd", cd_start_ns, coarse.subsets.size());
   return coarse;
 }
 
@@ -164,6 +171,8 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
       ReceiptWingCoarse(graph, coarse_options, &result.stats);
 
   const WallTimer fd_timer;
+  const uint64_t fd_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const std::vector<BipartiteGraph::Edge> all_edges = graph.ToEdges();
   const uint32_t num_subsets = static_cast<uint32_t>(coarse.subsets.size());
   // Workload-aware order: big subsets first (cost ≈ member count here).
@@ -192,6 +201,7 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
     result.stats.wedges_fd += local.wedges_fd;
   }
   result.stats.seconds_fd = fd_timer.Seconds();
+  options.trace.EmitSince("engine.fd", fd_start_ns, num_subsets);
   result.stats.seconds_total = total_timer.Seconds();
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include "engine/range_result.h"
 #include "graph/bipartite_graph.h"
+#include "obs/trace.h"
 #include "wing/wing_decomposition.h"
 
 namespace receipt {
@@ -35,6 +36,10 @@ struct ReceiptWingOptions {
 
   /// Optional cancellation/progress hook (see TipOptions::control).
   engine::PeelControl* control = nullptr;
+
+  /// Span sink + request identity (see TipOptions::trace). Null by
+  /// default; tracing never changes results.
+  obs::TraceContext trace;
 };
 
 /// Runs only the coarse step of RECEIPT-W: edge-butterfly counting plus the

@@ -63,7 +63,8 @@ std::vector<Count> BruteForcePerEdgeCount(const BipartiteGraph& graph) {
 
 WingResult WingDecompose(const BipartiteGraph& graph, int num_threads,
                          engine::WorkspacePool* workspace_pool,
-                         engine::PeelControl* control) {
+                         engine::PeelControl* control,
+                         obs::TraceContext trace) {
   const WallTimer total_timer;
   WingResult result;
   const uint64_t m = graph.num_edges();
@@ -77,12 +78,18 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads,
   engine::WorkspacePool& pool = engine::ResolvePool(workspace_pool, local_pool);
   pool.Prepare(std::max(1, num_threads), graph.num_u(), graph.num_v());
 
+  const uint64_t count_start_ns =
+      trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   WallTimer count_timer;
   std::vector<Count> support(m, 0);
   result.stats.wedges_counting =
       engine::CountEdgeButterflies(graph, pool, num_threads, support);
   result.stats.seconds_counting = count_timer.Seconds();
+  trace.EmitSince("engine.count", count_start_ns,
+                  result.stats.wedges_counting);
 
+  const uint64_t peel_start_ns =
+      trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const EdgeTopology topo = BuildEdgeTopology(graph);
 
   std::vector<uint8_t> state(m, engine::kEdgeAlive);
@@ -104,6 +111,7 @@ WingResult WingDecompose(const BipartiteGraph& graph, int num_threads,
       control);
   result.stats.wedges_other = outcome.wedges;
   result.stats.peel_iterations = outcome.iterations;
+  trace.EmitSince("engine.peel", peel_start_ns, outcome.iterations);
 
   result.stats.seconds_total = total_timer.Seconds();
   return result;

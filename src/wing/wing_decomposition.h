@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -53,10 +54,12 @@ struct WingResult {
 /// (clamped at the current wing number). Counting uses `num_threads`.
 /// `workspace_pool` (optional) supplies caller-owned scratch for cross-run
 /// reuse; `control` (optional) is the cancellation/progress hook — on
-/// cancellation the returned wing numbers are incomplete.
+/// cancellation the returned wing numbers are incomplete. `trace`
+/// (optional) receives "engine.count" / "engine.peel" phase spans.
 WingResult WingDecompose(const BipartiteGraph& graph, int num_threads = 1,
                          engine::WorkspacePool* workspace_pool = nullptr,
-                         engine::PeelControl* control = nullptr);
+                         engine::PeelControl* control = nullptr,
+                         obs::TraceContext trace = {});
 
 }  // namespace receipt
 
