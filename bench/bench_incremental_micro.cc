@@ -1,0 +1,298 @@
+// Incremental-serving micro-benchmark: a live seal that folds a small edge
+// batch through the sealed baseline (range replay + selective fine phase)
+// against a from-scratch decomposition of the same final graph, on a skewed
+// (Chung–Lu) generator shape, for tip-U and wing across thread counts.
+//
+// Verifies, and exits non-zero unless, per configuration:
+//  * the sealed numbers are bit-identical to the from-scratch seal of the
+//    final graph AND to the public ReceiptDecompose / ReceiptWingDecompose
+//    driver (HUC on — a different machinery path — for tips), and
+//  * the incremental seal ran incrementally (no full fallback) and examined
+//    strictly fewer elements than the from-scratch seal — wedge totals plus
+//    scan/frontier/index active-set builds plus SupportIndex walk, patch and
+//    rebuild work plus the replay's own element touches; the replay cost is
+//    charged so the comparison stays honest.
+//
+// `--json <path>` additionally emits the records as a
+// BENCH_incremental_micro trajectory file. Plain executable: the gate needs
+// deterministic single-pass element counters, not timing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/observability.h"
+#include "service/graph_registry.h"
+#include "service/live_graph.h"
+#include "service/result_cache.h"
+#include "tip/receipt.h"
+#include "wing/receipt_wing.h"
+
+namespace receipt::bench {
+namespace {
+
+using service::Algorithm;
+using service::ApplyResult;
+using service::CacheKey;
+using service::EdgeUpdate;
+using service::GraphHandle;
+using service::GraphRegistry;
+using service::LiveConfig;
+using service::LiveGraphManager;
+using service::LiveOptions;
+using service::Payload;
+using service::RequestKind;
+using service::ResultCache;
+using service::Status;
+
+Algorithm AlgorithmFor(RequestKind kind) {
+  return kind == RequestKind::kWing ? Algorithm::kReceiptWing
+                                    : Algorithm::kReceipt;
+}
+
+/// Everything a seal run examines: wedges traversed in every phase, the
+/// entities touched building active sets in either direction, the
+/// SupportIndex's walk/refine/patch/rebuild work, and the incremental
+/// replay's member + patch-log touches.
+uint64_t Examined(const PeelStats& s) {
+  return s.TotalWedges() + s.scan_build_elements +
+         s.frontier_build_elements + s.index_active_elements +
+         s.bound_walk_buckets + s.histogram_refines + s.init_patch_elements +
+         s.index_rebuild_elements + s.incremental_replay_elements;
+}
+
+/// Deterministic small churn in the graph's low-degree tail: `pairs`
+/// deletions of evenly spaced edges whose endpoints both have small degree,
+/// and `pairs` insertions between high-id (ChungLu ids are degree-ordered,
+/// so low-weight) vertices. Hub churn would dirty most of the structure;
+/// tail churn is the localized-update serving scenario the incremental
+/// path exists for, and what the element gate measures.
+std::vector<EdgeUpdate> SmallChurn(const BipartiteGraph& graph,
+                                   size_t pairs) {
+  const std::vector<BipartiteGraph::Edge> edges = graph.ToEdges();
+  std::vector<uint32_t> du(graph.num_u(), 0);
+  std::vector<uint32_t> dv(graph.num_v(), 0);
+  for (const BipartiteGraph::Edge& e : edges) {
+    ++du[e.u];
+    ++dv[e.v];
+  }
+  std::vector<size_t> tail;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (du[edges[i].u] <= 3 && dv[edges[i].v] <= 3) tail.push_back(i);
+  }
+  std::vector<EdgeUpdate> updates;
+  const size_t stride = tail.size() / (pairs + 1);
+  for (size_t i = 1; i <= pairs && stride > 0; ++i) {
+    const BipartiteGraph::Edge& e = edges[tail[i * stride]];
+    updates.push_back({/*insert=*/false, e.u, e.v});
+  }
+  size_t inserted = 0;
+  for (VertexId u = graph.num_u(); u-- > 0 && inserted < pairs;) {
+    for (VertexId v = graph.num_v(); v-- > 0 && inserted < pairs;) {
+      if (dv[v] > 3) continue;
+      bool present = false;
+      for (const VertexId w : graph.Neighbors(u)) {
+        if (w - graph.num_u() == v) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        updates.push_back({/*insert=*/true, u, v});
+        ++inserted;
+        break;  // at most one insert per U vertex keeps the batch spread
+      }
+    }
+  }
+  return updates;
+}
+
+/// From-scratch numbers through the public drivers (different machinery:
+/// HUC stays on for tips) — the cross-check that the seal didn't just agree
+/// with itself.
+std::vector<Count> DirectNumbers(const BipartiteGraph& graph,
+                                 const LiveConfig& config, int threads) {
+  if (config.kind == RequestKind::kWing) {
+    ReceiptWingOptions options;
+    options.num_threads = threads;
+    options.num_partitions = static_cast<int>(config.partitions);
+    return ReceiptWingDecompose(graph, options).wing_numbers;
+  }
+  TipOptions options;
+  options.side = Side::kU;
+  options.num_threads = threads;
+  options.num_partitions = static_cast<int>(config.partitions);
+  return ReceiptDecompose(graph, options).tip_numbers;
+}
+
+void Report(const char* kind, const char* path, int threads,
+            const PeelStats& s, std::vector<JsonRecord>& records) {
+  std::printf(
+      "%-6s %-12s t=%-2d examined=%-10llu wedges=%-10llu replay=%-8llu "
+      "reused=%-3llu repeeled=%-3llu seal=%.3fs\n",
+      kind, path, threads, static_cast<unsigned long long>(Examined(s)),
+      static_cast<unsigned long long>(s.TotalWedges()),
+      static_cast<unsigned long long>(s.incremental_replay_elements),
+      static_cast<unsigned long long>(s.incremental_ranges_reused),
+      static_cast<unsigned long long>(s.incremental_ranges_repeeled),
+      s.seconds_total);
+  JsonRecord record;
+  record.name = std::string(kind) + "/" + path + "/t" +
+                std::to_string(threads);
+  record.counters.emplace_back("examined", Examined(s));
+  record.counters.emplace_back("replay_elements",
+                               s.incremental_replay_elements);
+  record.counters.emplace_back("ranges_reused", s.incremental_ranges_reused);
+  record.counters.emplace_back("ranges_repeeled",
+                               s.incremental_ranges_repeeled);
+  AppendPeelStats(s, &record);
+  records.push_back(std::move(record));
+}
+
+/// Seals `updates` on a live manager seeded with `base` under `config`, then
+/// seals the resulting final graph from scratch on a second manager (same
+/// machinery, no baseline) and re-derives it through the public drivers.
+/// Returns false on a bit-identicality or element-gate violation.
+bool CompareOne(const char* kind_name, const LiveConfig& config,
+                const BipartiteGraph& base, size_t churn_pairs, int threads,
+                std::vector<JsonRecord>& records) {
+  LiveOptions live_options;
+  live_options.max_pending_edges = size_t{1} << 30;  // seal only when forced
+  live_options.dirty_fraction_limit = 1.0;  // measure reuse, not fallback
+  live_options.seal_threads = threads;
+
+  GraphRegistry registry;
+  ResultCache cache(size_t{64} << 20);
+  obs::Observability obs;
+  LiveGraphManager live(registry, cache, live_options, obs);
+  registry.Register("g", BipartiteGraph(base));
+  std::string error;
+  if (live.Track("g", config, threads, &error) != Status::kOk) {
+    std::printf("!! %s t=%d: Track failed: %s\n", kind_name, threads,
+                error.c_str());
+    return false;
+  }
+
+  const std::vector<EdgeUpdate> updates = SmallChurn(base, churn_pairs);
+  const ApplyResult result =
+      live.ApplyEdges("g", updates, /*force_seal=*/true, threads);
+  if (result.status != Status::kOk || !result.sealed ||
+      result.reports.size() != 1) {
+    std::printf("!! %s t=%d: seal failed: %s\n", kind_name, threads,
+                result.error.c_str());
+    return false;
+  }
+  const auto sealed = cache.Get(CacheKey{result.epoch, config.kind,
+                                         AlgorithmFor(config.kind),
+                                         config.partitions});
+  if (sealed == nullptr) {
+    std::printf("!! %s t=%d: seal did not prime the cache\n", kind_name,
+                threads);
+    return false;
+  }
+  const GraphHandle final_handle = registry.Acquire("g");
+  const BipartiteGraph& final_graph = final_handle.graph();
+
+  // From-scratch seal of the final graph: identical machinery (same seal
+  // options, same pool discipline), no baseline to lean on.
+  GraphRegistry full_registry;
+  ResultCache full_cache(size_t{64} << 20);
+  obs::Observability full_obs;
+  LiveGraphManager full(full_registry, full_cache, live_options, full_obs);
+  full_registry.Register("f", BipartiteGraph(final_graph));
+  if (full.Track("f", config, threads, &error) != Status::kOk) {
+    std::printf("!! %s t=%d: full Track failed: %s\n", kind_name, threads,
+                error.c_str());
+    return false;
+  }
+  const auto scratch = full_cache.Get(
+      CacheKey{full_registry.Acquire("f").epoch(), config.kind,
+               AlgorithmFor(config.kind), config.partitions});
+  if (scratch == nullptr) {
+    std::printf("!! %s t=%d: full seal did not prime the cache\n", kind_name,
+                threads);
+    return false;
+  }
+
+  Report(kind_name, "incremental", threads, sealed->stats, records);
+  Report(kind_name, "scratch", threads, scratch->stats, records);
+
+  bool ok = true;
+  if (!result.reports[0].incremental) {
+    std::printf("!! %s t=%d: seal fell back to a full recompute\n",
+                kind_name, threads);
+    ok = false;
+  }
+  if (result.reports[0].ranges_reused == 0) {
+    std::printf("!! %s t=%d: seal reused no sealed ranges\n", kind_name,
+                threads);
+    ok = false;
+  }
+  if (sealed->numbers != scratch->numbers) {
+    std::printf("!! %s t=%d: sealed numbers differ from the from-scratch "
+                "seal of the final graph\n",
+                kind_name, threads);
+    ok = false;
+  }
+  if (sealed->numbers != DirectNumbers(final_graph, config, threads)) {
+    std::printf("!! %s t=%d: sealed numbers differ from the public "
+                "decomposition driver\n",
+                kind_name, threads);
+    ok = false;
+  }
+  if (Examined(sealed->stats) >= Examined(scratch->stats)) {
+    std::printf(
+        "!! %s t=%d: incremental seal examined %llu elements, expected "
+        "strictly fewer than the from-scratch seal's %llu\n",
+        kind_name, threads,
+        static_cast<unsigned long long>(Examined(sealed->stats)),
+        static_cast<unsigned long long>(Examined(scratch->stats)));
+    ok = false;
+  }
+  return ok;
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
+  PrintHeader(
+      "incremental micro-bench — live seal (range replay + selective fine "
+      "phase) vs from-scratch, bit-identical by construction");
+
+  // Skewed shapes: heavy tails give long quiet ranges a small batch leaves
+  // untouched — the serving scenario the incremental path exists for.
+  const BipartiteGraph tip_graph =
+      ChungLuBipartite(2500, 1800, 22000, 0.85, 0.85, 2001);
+  const BipartiteGraph wing_graph =
+      ChungLuBipartite(500, 350, 4000, 0.8, 0.8, 2003);
+
+  const int thread_counts[] = {1, DefaultThreads()};
+  std::vector<JsonRecord> records;
+  bool ok = true;
+  for (const int threads : thread_counts) {
+    LiveConfig tip_config;
+    tip_config.kind = RequestKind::kTipU;
+    tip_config.partitions = 32;
+    ok = CompareOne("tip-U", tip_config, tip_graph, /*churn_pairs=*/4,
+                    threads, records) &&
+         ok;
+    LiveConfig wing_config;
+    wing_config.kind = RequestKind::kWing;
+    wing_config.partitions = 12;
+    ok = CompareOne("wing", wing_config, wing_graph, /*churn_pairs=*/4,
+                    threads, records) &&
+         ok;
+  }
+
+  PrintRule();
+  std::printf("verdict: %s\n", ok ? "OK" : "FAILED");
+  if (!json_path.empty()) {
+    if (!WriteBenchJson(json_path, "incremental_micro", records)) ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace receipt::bench
+
+int main(int argc, char** argv) { return receipt::bench::Main(argc, argv); }

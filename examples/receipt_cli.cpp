@@ -10,12 +10,20 @@
 //   receipt_cli serve    --graphs g1=a.konect,g2=b.bin --workers 2 \
 //                        --clients 4 --requests 24 --threads 2
 //   receipt_cli serve    --http-port 8080 --datasets it,de --workers 2
+//   receipt_cli update   --port 8080 --graph g1 --batch updates.txt --seal
 //
 // With --http-port, serve exposes the service as HTTP/JSON endpoints
-// (POST /v1/decompose, GET/POST /v1/graphs, /healthz, /statz) and runs
-// until SIGINT/SIGTERM, then drains gracefully.
+// (POST /v1/decompose, GET/POST /v1/graphs, POST /v1/graphs/{name}/edges,
+// /healthz, /statz) and runs until SIGINT/SIGTERM, then drains gracefully.
+// `update` posts an edge-update batch (lines "+ u v" / "- u v", from a file
+// or stdin) to a running server's live-update endpoint.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO failures.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <csignal>
 
@@ -26,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <map>
 #include <mutex>
@@ -34,9 +43,12 @@
 #include <thread>
 #include <vector>
 
+#include <sstream>
+
 #include "receipt/receipt_lib.h"
 #include "server/decomposition_http.h"
 #include "server/http_server.h"
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace {
@@ -128,8 +140,14 @@ int Usage() {
       "            [--workers W] [--clients C] [--requests N] [--threads T]\n"
       "            [--partitions P] [--cache-mb MB] [--queue-capacity N]\n"
       "            [--pin-numa[=off]] [--http-port PORT] [--http-threads N]\n"
+      "            [--max-pending-edges N] [--max-staleness-ms MS]\n"
+      "            [--dirty-fraction-limit F] [--live-track tip-U:150,wing:8]\n"
       "            (--http-port serves HTTP/JSON until SIGINT/SIGTERM;\n"
-      "             graphs may also be registered later via POST /v1/graphs)\n");
+      "             graphs may also be registered later via POST /v1/graphs)\n"
+      "  update    --graph NAME --batch FILE|-  [--host H] [--port P]\n"
+      "            [--seal] [--threads T] [--track tip-U:150,wing:8]\n"
+      "            (batch lines: '+ u v' inserts, '- u v' deletes; posts to\n"
+      "             a running serve --http-port instance)\n");
   return 1;
 }
 
@@ -325,6 +343,217 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
   return items;
 }
 
+/// Parses "tip-U:150,wing:8" into live-tracking configs (partitions
+/// optional; RECEIPT defaults apply when omitted).
+bool ParseTrackSpecs(const std::string& list,
+                     std::vector<service::LiveConfig>* out) {
+  for (const std::string& spec : SplitCommaList(list)) {
+    service::LiveConfig config;
+    std::string kind = spec;
+    if (const size_t colon = spec.find(':'); colon != std::string::npos) {
+      kind = spec.substr(0, colon);
+      const std::string partitions = spec.substr(colon + 1);
+      if (partitions.empty() ||
+          partitions.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "bad partition count in track spec '%s'\n",
+                     spec.c_str());
+        return false;
+      }
+      config.partitions =
+          static_cast<uint32_t>(std::atoll(partitions.c_str()));
+    }
+    if (!service::RequestKindFromName(kind, &config.kind)) {
+      std::fprintf(stderr,
+                   "track spec '%s': kind must be tip-U, tip-V or wing\n",
+                   spec.c_str());
+      return false;
+    }
+    out->push_back(config);
+  }
+  return true;
+}
+
+/// Reads an edge-update batch: one update per line, "+ u v" inserts,
+/// "- u v" deletes, bare "u v" inserts; '#' starts a comment.
+bool ReadUpdateBatch(std::istream& in, std::vector<service::EdgeUpdate>* out) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;  // blank line
+    service::EdgeUpdate update;
+    long long u = -1;
+    long long v = -1;
+    if (first == "+" || first == "-") {
+      update.insert = first == "+";
+      if (!(fields >> u >> v)) u = -1;
+    } else {
+      update.insert = true;
+      u = std::atoll(first.c_str());
+      if (first.find_first_not_of("0123456789") != std::string::npos ||
+          !(fields >> v)) {
+        u = -1;
+      }
+    }
+    std::string extra;
+    if (u < 0 || v < 0 || u > UINT32_MAX || v > UINT32_MAX ||
+        (fields >> extra)) {
+      std::fprintf(stderr, "batch line %zu: expected '[+|-] u v', got '%s'\n",
+                   line_number, line.c_str());
+      return false;
+    }
+    update.u = static_cast<VertexId>(u);
+    update.v = static_cast<VertexId>(v);
+    out->push_back(update);
+  }
+  return true;
+}
+
+/// Minimal blocking HTTP/1.1 POST over a fresh IPv4 socket (the CLI's only
+/// client-side HTTP need — one request, Connection: close). Returns the
+/// HTTP status, or 0 with *error set on transport failure.
+int HttpPostJson(const std::string& host, uint16_t port,
+                 const std::string& path, const std::string& body,
+                 std::string* response_body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket() failed";
+    return 0;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "--host must be an IPv4 address, got '" + host + "'";
+    ::close(fd);
+    return 0;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot connect to " + host + ":" + std::to_string(port) +
+             " (is `receipt_cli serve --http-port` running?)";
+    ::close(fd);
+    return 0;
+  }
+  std::string request = "POST " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      *error = "send() failed mid-request";
+      ::close(fd);
+      return 0;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      *error = "recv() failed reading the response";
+      ::close(fd);
+      return 0;
+    }
+    if (n == 0) break;
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = reply.find("\r\n\r\n");
+  if (reply.compare(0, 9, "HTTP/1.1 ") != 0 ||
+      header_end == std::string::npos) {
+    *error = "malformed HTTP response";
+    return 0;
+  }
+  *response_body = reply.substr(header_end + 4);
+  return std::atoi(reply.c_str() + 9);
+}
+
+// update: post an edge batch to a running server's live-update endpoint.
+int CmdUpdate(const Args& args) {
+  const std::string graph = args.Get("graph");
+  if (graph.empty()) {
+    std::fprintf(stderr, "need --graph NAME\n");
+    return 1;
+  }
+  const std::string batch_path = args.Get("batch");
+  if (batch_path.empty()) {
+    std::fprintf(stderr, "need --batch FILE (or - for stdin)\n");
+    return 1;
+  }
+  std::vector<service::EdgeUpdate> updates;
+  if (batch_path == "-") {
+    if (!ReadUpdateBatch(std::cin, &updates)) return 1;
+  } else {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", batch_path.c_str());
+      return 2;
+    }
+    if (!ReadUpdateBatch(in, &updates)) return 1;
+  }
+  std::vector<service::LiveConfig> track;
+  if (!ParseTrackSpecs(args.Get("track"), &track)) return 1;
+
+  util::JsonWriter writer;
+  writer.BeginObject().Key("edges").BeginArray();
+  for (const service::EdgeUpdate& update : updates) {
+    writer.BeginObject()
+        .Key("op").String(update.insert ? "insert" : "delete")
+        .Key("u").Uint(update.u)
+        .Key("v").Uint(update.v)
+        .EndObject();
+  }
+  writer.EndArray();
+  if (args.Has("seal")) writer.Key("seal").Bool(true);
+  if (const int64_t threads = args.GetInt("threads", 0); threads > 0) {
+    writer.Key("threads").Int(threads);
+  }
+  if (!track.empty()) {
+    writer.Key("track").BeginArray();
+    for (const service::LiveConfig& config : track) {
+      writer.BeginObject()
+          .Key("kind").String(service::RequestKindName(config.kind))
+          .Key("partitions").Uint(config.partitions)
+          .EndObject();
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int64_t port = args.GetInt("port", 8080);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [1, 65535]\n");
+    return 1;
+  }
+  std::string response_body;
+  std::string error;
+  const int status = HttpPostJson(host, static_cast<uint16_t>(port),
+                                  "/v1/graphs/" + graph + "/edges",
+                                  writer.Take(), &response_body, &error);
+  if (status == 0) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response_body.c_str());
+  if (status != 200) {
+    std::fprintf(stderr, "server answered HTTP %d\n", status);
+    return 2;
+  }
+  return 0;
+}
+
 volatile std::sig_atomic_t g_stop_requested = 0;
 
 void OnStopSignal(int) { g_stop_requested = 1; }
@@ -354,8 +583,9 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
     return 2;
   }
   std::printf("listening on http://%s:%u (POST /v1/decompose, "
-              "GET|POST /v1/graphs, GET /healthz, GET /statz, "
-              "GET /metrics, GET /v1/traces[/{id}])\n",
+              "GET|POST /v1/graphs, POST /v1/graphs/{name}/edges, "
+              "GET /healthz, GET /statz, GET /metrics, "
+              "GET /v1/traces[/{id}])\n",
               http_options.bind_address.c_str(), http_server.port());
   std::fflush(stdout);
 
@@ -390,6 +620,19 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.coalesced),
       static_cast<unsigned long long>(stats.cancelled));
+  const service::LiveGraphManager::Stats live = service.live().stats();
+  std::printf(
+      "live updates: batches=%llu updates=%llu seals=%llu "
+      "incremental=%llu full=%llu ranges_reused=%llu ranges_repeeled=%llu "
+      "pending=%llu\n",
+      static_cast<unsigned long long>(live.batches_total),
+      static_cast<unsigned long long>(live.updates_total),
+      static_cast<unsigned long long>(live.seals_total),
+      static_cast<unsigned long long>(live.runs_incremental),
+      static_cast<unsigned long long>(live.runs_full),
+      static_cast<unsigned long long>(live.ranges_reused),
+      static_cast<unsigned long long>(live.ranges_repeeled),
+      static_cast<unsigned long long>(live.pending_edges));
   const service::DecompositionService::SchedulerStats sched =
       service.scheduler_stats();
   std::printf(
@@ -500,7 +743,44 @@ int CmdServe(const Args& args) {
                   &service_options.pin_numa)) {
     return 1;
   }
+  const int64_t max_pending = args.GetInt(
+      "max-pending-edges",
+      static_cast<int64_t>(service_options.live_max_pending_edges));
+  if (max_pending < 1) {
+    std::fprintf(stderr, "--max-pending-edges must be >= 1\n");
+    return 1;
+  }
+  service_options.live_max_pending_edges = static_cast<size_t>(max_pending);
+  service_options.live_max_staleness_ms =
+      static_cast<uint64_t>(args.GetInt("max-staleness-ms", 0));
+  const double dirty_limit = args.GetDouble(
+      "dirty-fraction-limit", service_options.live_dirty_fraction_limit);
+  if (dirty_limit < 0.0 || dirty_limit > 1.0) {
+    std::fprintf(stderr, "--dirty-fraction-limit must be in [0, 1]\n");
+    return 1;
+  }
+  service_options.live_dirty_fraction_limit = dirty_limit;
+  std::vector<service::LiveConfig> live_track;
+  if (!ParseTrackSpecs(args.Get("live-track"), &live_track)) return 1;
   service::DecompositionService service(registry, service_options);
+
+  // Pre-track requested live configurations on every registered graph, so
+  // the very first sealed batch already runs incrementally.
+  for (const std::string& name : names) {
+    for (const service::LiveConfig& config : live_track) {
+      std::string error;
+      const service::Status status = service.live().Track(
+          name, config, static_cast<int>(args.GetInt("threads", 2)), &error);
+      if (status != service::Status::kOk) {
+        std::fprintf(stderr, "live-track %s on %s failed: %s\n",
+                     service::RequestKindName(config.kind), name.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      std::printf("live-tracking %s %s (partitions=%u)\n", name.c_str(),
+                  service::RequestKindName(config.kind), config.partitions);
+    }
+  }
 
   const service::DecompositionService::SchedulerStats sched =
       service.scheduler_stats();
@@ -629,5 +909,6 @@ int main(int argc, char** argv) {
   if (command == "decompose") return CmdDecompose(args);
   if (command == "wing") return CmdWing(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "update") return CmdUpdate(args);
   return Usage();
 }

@@ -122,6 +122,9 @@ DecompositionHttpFrontend::DecompositionHttpFrontend(
   server.Handle("POST", "/v1/graphs", [this](const HttpRequest& r) {
     return HandleRegisterGraph(r);
   });
+  server.HandlePrefix("POST", "/v1/graphs/", [this](const HttpRequest& r) {
+    return HandleGraphEdges(r);
+  });
   server.Handle("GET", "/healthz",
                 [this](const HttpRequest& r) { return HandleHealthz(r); });
   server.Handle("GET", "/statz",
@@ -324,6 +327,15 @@ HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
     return JsonError(400, "provide exactly one of 'path' or 'dataset'");
   }
 
+  // A re-registration makes the old epoch unreachable; note it so its cache
+  // entries can be dropped instead of aging out through the LRU.
+  uint64_t old_epoch = 0;
+  bool replacing = false;
+  if (const service::GraphHandle old = registry_->Acquire(name)) {
+    old_epoch = old.epoch();
+    replacing = true;
+  }
+
   if (has_path) {
     if (!registry_->LoadFile(name, path, &error)) {
       return JsonError(400, error);
@@ -336,6 +348,7 @@ HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
     registry_->Register(name, MakePaperAnalogue(dataset));
   }
   graphs_registered_.fetch_add(1, std::memory_order_relaxed);
+  if (replacing) service_->DropCachedEpoch(old_epoch);
 
   const service::GraphHandle handle = registry_->Acquire(name);
   if (!handle) {
@@ -350,6 +363,154 @@ HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
   HttpResponse response;
   response.body = writer.Take();
   return response;
+}
+
+HttpResponse DecompositionHttpFrontend::HandleGraphEdges(
+    const HttpRequest& http_request) {
+  CountHttpRequest("/v1/graphs/{name}/edges");
+
+  // Path: /v1/graphs/{name}/edges (the registration route is the exact
+  // match "/v1/graphs", so everything under the prefix lands here).
+  constexpr std::string_view kPrefix = "/v1/graphs/";
+  constexpr std::string_view kSuffix = "/edges";
+  const std::string& path = http_request.path;
+  if (path.size() <= kPrefix.size() + kSuffix.size() ||
+      path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                   kSuffix) != 0) {
+    return JsonError(404, "no such endpoint; use /v1/graphs/{name}/edges");
+  }
+  const std::string name = path.substr(
+      kPrefix.size(), path.size() - kPrefix.size() - kSuffix.size());
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return JsonError(404, "no such endpoint; use /v1/graphs/{name}/edges");
+  }
+
+  uint64_t trace_id = 0;
+  if (const auto it = http_request.headers.find("x-request-id");
+      it != http_request.headers.end()) {
+    trace_id = obs::ParseOrMintTraceId(it->second);
+  } else {
+    trace_id = obs::MintTraceId();
+  }
+  obs::TraceContext trace{&obs_->traces, trace_id};
+  const std::string trace_id_text = obs::FormatTraceId(trace_id);
+  auto finish = [&](HttpResponse response) {
+    response.extra_headers.emplace_back("X-Request-Id", trace_id_text);
+    return response;
+  };
+
+  std::string error;
+  const auto json = util::JsonValue::Parse(http_request.body, &error);
+  if (!json) return finish(JsonError(400, "malformed JSON: " + error));
+  if (!json->IsObject()) {
+    return finish(JsonError(400, "request body must be a JSON object"));
+  }
+
+  const util::JsonValue* edges = json->Find("edges");
+  if (edges == nullptr || !edges->IsArray()) {
+    return finish(JsonError(400, "missing required array field 'edges'"));
+  }
+  std::vector<service::EdgeUpdate> updates;
+  updates.reserve(edges->Items().size());
+  for (const util::JsonValue& item : edges->Items()) {
+    if (!item.IsObject()) {
+      return finish(JsonError(400, "'edges' entries must be objects"));
+    }
+    service::EdgeUpdate update;
+    std::string op;
+    if (item.GetString("op", &op)) {
+      if (op == "insert" || op == "+") {
+        update.insert = true;
+      } else if (op == "delete" || op == "-") {
+        update.insert = false;
+      } else {
+        return finish(JsonError(400, "'op' must be 'insert' or 'delete'"));
+      }
+    }
+    int64_t u = -1;
+    int64_t v = -1;
+    if (!item.GetInt("u", &u) || !item.GetInt("v", &v) || u < 0 || v < 0 ||
+        u > UINT32_MAX || v > UINT32_MAX) {
+      return finish(
+          JsonError(400, "'edges' entries need side-local 'u' and 'v' ids"));
+    }
+    update.u = static_cast<VertexId>(u);
+    update.v = static_cast<VertexId>(v);
+    updates.push_back(update);
+  }
+
+  bool seal = false;
+  json->GetBool("seal", &seal);
+  int64_t threads = 0;
+  json->GetInt("threads", &threads);
+  if (threads < 0 || threads > 1024) {
+    return finish(JsonError(400, "'threads' out of range"));
+  }
+
+  std::vector<service::LiveConfig> track;
+  if (const util::JsonValue* track_json = json->Find("track");
+      track_json != nullptr) {
+    if (!track_json->IsArray()) {
+      return finish(JsonError(400, "'track' must be an array"));
+    }
+    for (const util::JsonValue& item : track_json->Items()) {
+      if (!item.IsObject()) {
+        return finish(JsonError(400, "'track' entries must be objects"));
+      }
+      service::LiveConfig config;
+      std::string kind;
+      if (!item.GetString("kind", &kind) ||
+          !service::RequestKindFromName(kind, &config.kind)) {
+        return finish(JsonError(
+            400, "'track' entries need 'kind' (tip-U, tip-V or wing)"));
+      }
+      if (int64_t partitions = 0; item.GetInt("partitions", &partitions)) {
+        if (partitions < 1 || partitions > 100000) {
+          return finish(JsonError(400, "'partitions' out of range"));
+        }
+        config.partitions = static_cast<uint32_t>(partitions);
+      }
+      track.push_back(config);
+    }
+  }
+
+  const uint64_t apply_start_ns = obs::TraceRecorder::NowNs();
+  const service::ApplyResult result = service_->live().ApplyEdges(
+      name, updates, seal, static_cast<int>(threads), track);
+  trace.EmitSince("live.apply", apply_start_ns, updates.size());
+  if (result.status != Status::kOk) {
+    return finish(JsonError(HttpStatusFor(result.status), result.error));
+  }
+  edge_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  util::JsonWriter writer;
+  writer.BeginObject()
+      .Key("status").String("ok")
+      .Key("graph").String(name)
+      .Key("accepted").Uint(result.accepted)
+      .Key("pending").Uint(result.pending)
+      .Key("sealed").Bool(result.sealed)
+      .Key("epoch").Uint(result.epoch);
+  if (result.sealed) {
+    writer.Key("seal_seconds").Double(result.seal_seconds);
+    writer.Key("runs").BeginArray();
+    for (const service::SealConfigReport& report : result.reports) {
+      writer.BeginObject()
+          .Key("kind").String(service::RequestKindName(report.config.kind))
+          .Key("partitions").Uint(report.config.partitions)
+          .Key("mode").String(report.incremental ? "incremental" : "full")
+          .Key("ranges_reused").Uint(report.ranges_reused)
+          .Key("ranges_repeeled").Uint(report.ranges_repeeled)
+          .Key("subsets_repeeled").Uint(report.subsets_repeeled)
+          .Key("subsets_total").Uint(report.subsets_total)
+          .EndObject();
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return finish(std::move(response));
 }
 
 HttpResponse DecompositionHttpFrontend::HandleHealthz(const HttpRequest&) {
@@ -420,6 +581,7 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Key("misses").Uint(cache.misses)
       .Key("insertions").Uint(cache.insertions)
       .Key("evictions").Uint(cache.evictions)
+      .Key("epoch_drops").Uint(cache.epoch_drops)
       .Key("hit_rate")
       .Double(cache_lookups == 0
                   ? 0.0
@@ -431,6 +593,7 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Key("connections_accepted").Uint(http.connections_accepted)
       .Key("connections_rejected").Uint(http.connections_rejected)
       .Key("requests").Uint(http.requests)
+      .Key("keepalive_reuses").Uint(http.keepalive_reuses)
       .Key("responses_2xx").Uint(http.responses_2xx)
       .Key("responses_4xx").Uint(http.responses_4xx)
       .Key("responses_5xx").Uint(http.responses_5xx)
@@ -443,6 +606,20 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Uint(disconnect_cancels_.load(std::memory_order_relaxed))
       .Key("graphs_registered")
       .Uint(graphs_registered_.load(std::memory_order_relaxed))
+      .Key("edge_batches")
+      .Uint(edge_batches_.load(std::memory_order_relaxed))
+      .EndObject();
+  const service::LiveGraphManager::Stats live = service_->live().stats();
+  writer.Key("live")
+      .BeginObject()
+      .Key("batches").Uint(live.batches_total)
+      .Key("updates").Uint(live.updates_total)
+      .Key("pending_edges").Uint(live.pending_edges)
+      .Key("seals").Uint(live.seals_total)
+      .Key("runs_incremental").Uint(live.runs_incremental)
+      .Key("runs_full").Uint(live.runs_full)
+      .Key("ranges_reused").Uint(live.ranges_reused)
+      .Key("ranges_repeeled").Uint(live.ranges_repeeled)
       .EndObject();
   // Growth counters are relaxed atomics, so sampling them mid-request is
   // safe; a steady-state workload shows this flat (hot path allocation-free).
@@ -467,6 +644,7 @@ DecompositionHttpFrontend::Stats DecompositionHttpFrontend::stats() const {
   stats.disconnect_cancels =
       disconnect_cancels_.load(std::memory_order_relaxed);
   stats.graphs_registered = graphs_registered_.load(std::memory_order_relaxed);
+  stats.edge_batches = edge_batches_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -21,6 +21,10 @@ namespace receipt::server {
 ///   POST /v1/decompose   run (or cache-serve) a decomposition
 ///   GET  /v1/graphs      list resident graphs
 ///   POST /v1/graphs      register/load a graph (re-register bumps epoch)
+///   POST /v1/graphs/{name}/edges
+///                        buffer an edge-update batch against a live graph;
+///                        seals (incremental recompute + epoch bump) per the
+///                        service's live policy or an explicit "seal":true
 ///   GET  /healthz        liveness
 ///   GET  /statz          queue depth, cache hit rate, worker utilization
 ///   GET  /metrics        Prometheus text exposition of every instrument
@@ -48,6 +52,7 @@ class DecompositionHttpFrontend {
     uint64_t rejected_busy = 0;       ///< 429s from queue admission
     uint64_t disconnect_cancels = 0;  ///< tickets abandoned on disconnect
     uint64_t graphs_registered = 0;
+    uint64_t edge_batches = 0;  ///< /v1/graphs/{name}/edges batches accepted
   };
   Stats stats() const;
 
@@ -55,6 +60,7 @@ class DecompositionHttpFrontend {
   HttpResponse HandleDecompose(const HttpRequest& request);
   HttpResponse HandleListGraphs(const HttpRequest& request);
   HttpResponse HandleRegisterGraph(const HttpRequest& request);
+  HttpResponse HandleGraphEdges(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request);
   HttpResponse HandleStatz(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request);
@@ -75,6 +81,7 @@ class DecompositionHttpFrontend {
   std::atomic<uint64_t> rejected_busy_{0};
   std::atomic<uint64_t> disconnect_cancels_{0};
   std::atomic<uint64_t> graphs_registered_{0};
+  std::atomic<uint64_t> edge_batches_{0};
 };
 
 }  // namespace receipt::server

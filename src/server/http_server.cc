@@ -219,7 +219,7 @@ void HttpServer::AcceptLoop() {
       overload.status = 503;
       overload.body =
           "{\"status\":\"unavailable\",\"error\":\"connection queue full\"}";
-      WriteResponse(fd, overload);
+      WriteResponse(fd, overload, false);
       ::close(fd);
       continue;
     }
@@ -244,7 +244,6 @@ void HttpServer::HandlerLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  const auto serve_start = std::chrono::steady_clock::now();
   timeval timeout{};
   timeout.tv_sec = options_.recv_timeout_ms / 1000;
   timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
@@ -257,6 +256,32 @@ void HttpServer::ServeConnection(int fd) {
   const int enable = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
 
+  // Keep-alive loop: `buffer` carries pipelined bytes between requests.
+  // Between requests an idle client gets idle_timeout_ms to start the next
+  // one, then the connection closes silently (no 408 — nothing was owed).
+  std::string buffer;
+  size_t served = 0;
+  for (;;) {
+    if (served > 0 && buffer.empty()) {
+      pollfd waiting{};
+      waiting.fd = fd;
+      waiting.events = POLLIN;
+      const int ready = ::poll(&waiting, 1, options_.idle_timeout_ms);
+      if (ready <= 0) return;  // idle timeout (or poll error): close
+      if ((waiting.revents & POLLIN) == 0) return;  // hangup/error
+    }
+    if (!ServeOneRequest(fd, &buffer, served)) return;
+    ++served;
+  }
+}
+
+bool HttpServer::ServeOneRequest(int fd, std::string* buffer_ptr,
+                                 size_t served_so_far) {
+  const auto serve_start = std::chrono::steady_clock::now();
+  std::string& buffer = *buffer_ptr;
+
+  // Parse failures always close the connection: the buffer may be left
+  // mid-request, so resynchronizing on the next one is not possible.
   auto parse_failure = [&](int status, const std::string& message) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -266,13 +291,13 @@ void HttpServer::ServeConnection(int fd) {
     response.status = status;
     std::string body = "{\"status\":\"error\",\"error\":\"" + message + "\"}";
     response.body = std::move(body);
-    WriteResponse(fd, response);
+    WriteResponse(fd, response, false);
+    return false;
   };
 
   // Read until the header terminator, with the headers capped. EOF means
   // the client walked away mid-request (a malformed request, not a stall);
   // only a genuine recv timeout earns the 408.
-  std::string buffer;
   size_t header_end = std::string::npos;
   while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
     if (buffer.size() > options_.max_header_bytes) {
@@ -284,7 +309,7 @@ void HttpServer::ServeConnection(int fd) {
         return parse_failure(408, "timed out reading request");
       case RecvStatus::kEof:
       case RecvStatus::kError:
-        if (buffer.empty()) return;  // connected and left: not a request
+        if (buffer.empty()) return false;  // connected and left: not a request
         return parse_failure(400, "client closed connection mid-request");
     }
   }
@@ -298,6 +323,8 @@ void HttpServer::ServeConnection(int fd) {
       request_line.compare(target_end + 1, 5, "HTTP/") != 0) {
     return parse_failure(400, "malformed request line");
   }
+  // HTTP/1.0 defaults to one request per connection; 1.1 to persistence.
+  const bool http_1_0 = request_line.compare(target_end + 1, 8, "HTTP/1.0") == 0;
 
   HttpRequest request;
   request.client_fd = fd;
@@ -365,10 +392,25 @@ void HttpServer::ServeConnection(int fd) {
     }
   }
   request.body = buffer.substr(body_start, content_length);
+  // Drop the consumed request; any pipelined follow-up stays buffered.
+  buffer.erase(0, body_start + content_length);
   request.parse_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - serve_start)
           .count());
+
+  // Persistence: the server opts in (options + request cap), then the
+  // client's Connection header (or HTTP/1.0 default) can still close.
+  bool keep = options_.keep_alive &&
+              served_so_far + 1 < options_.max_requests_per_connection;
+  if (const auto it = request.headers.find("connection");
+      it != request.headers.end()) {
+    const std::string token = ToLower(it->second);
+    if (token == "close") keep = false;
+    if (http_1_0 && token != "keep-alive") keep = false;
+  } else if (http_1_0) {
+    keep = false;
+  }
 
   // Route dispatch: exact path, then the longest matching prefix route,
   // then method within the winning path.
@@ -404,10 +446,12 @@ void HttpServer::ServeConnection(int fd) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.requests;
+      if (served_so_far > 0) ++stats_.keepalive_reuses;
     }
     response = method_it->second(request);
   }
-  WriteResponse(fd, response);
+  WriteResponse(fd, response, keep);
+  return keep;
 }
 
 void HttpServer::CountResponse(int status) {
@@ -421,7 +465,8 @@ void HttpServer::CountResponse(int status) {
   }
 }
 
-void HttpServer::WriteResponse(int fd, const HttpResponse& response) {
+void HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusReason(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
@@ -429,7 +474,8 @@ void HttpServer::WriteResponse(int fd, const HttpResponse& response) {
   for (const auto& [name, value] : response.extra_headers) {
     head += name + ": " + value + "\r\n";
   }
-  head += "Connection: close\r\n\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
   if (SendAll(fd, head.data(), head.size())) {
     SendAll(fd, response.body.data(), response.body.size());
   }

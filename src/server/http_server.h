@@ -39,6 +39,19 @@ struct HttpServerOptions {
   /// socket buffer) gets its connection dropped instead of wedging a
   /// handler thread — and with it Stop()'s join — forever.
   int send_timeout_ms = 10000;
+  /// Serve multiple requests per connection (HTTP/1.1 persistent
+  /// connections). Clients can still opt out per request with
+  /// `Connection: close`; HTTP/1.0 requests default to close. Disabling
+  /// restores the one-request-per-connection behaviour.
+  bool keep_alive = true;
+  /// Requests served on one connection before the server closes it
+  /// (`Connection: close` on the final response) — bounds how long a
+  /// single client can monopolize a handler thread.
+  size_t max_requests_per_connection = 64;
+  /// How long a kept-alive connection may sit idle between requests before
+  /// the server closes it silently. Distinct from recv_timeout_ms, which
+  /// applies once a request has started arriving.
+  int idle_timeout_ms = 5000;
 };
 
 /// One parsed HTTP/1.1 request as delivered to a handler.
@@ -74,9 +87,11 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 /// A small dependency-free HTTP/1.1 server over POSIX sockets: one blocking
 /// accept loop feeding a bounded queue of accepted connections, drained by a
-/// fixed pool of handler threads (one connection per request, Connection:
-/// close — serving-system front-end simplicity over keep-alive throughput).
-/// Routes are exact (method, path) matches registered before Start().
+/// fixed pool of handler threads. Connections are persistent by default
+/// (HTTP/1.1 keep-alive with a per-connection request cap and an idle
+/// timeout — a handler thread serves one connection at a time, so the cap
+/// bounds how long one client can hold a thread). Routes are exact
+/// (method, path) matches registered before Start().
 ///
 /// Shutdown is graceful by construction: Stop() closes the listening socket
 /// (no new connections), then handler threads drain every already-accepted
@@ -114,6 +129,7 @@ class HttpServer {
     uint64_t connections_accepted = 0;
     uint64_t connections_rejected = 0;  ///< pending-queue overflow → 503
     uint64_t requests = 0;              ///< requests parsed and dispatched
+    uint64_t keepalive_reuses = 0;      ///< requests beyond a connection's 1st
     uint64_t responses_2xx = 0;
     uint64_t responses_4xx = 0;
     uint64_t responses_5xx = 0;
@@ -125,7 +141,11 @@ class HttpServer {
   void AcceptLoop();
   void HandlerLoop();
   void ServeConnection(int fd);
-  void WriteResponse(int fd, const HttpResponse& response);
+  /// Parses and dispatches one request out of `buffer` (which carries
+  /// pipelined bytes between requests). Returns true when the connection
+  /// should be kept open for another request.
+  bool ServeOneRequest(int fd, std::string* buffer, size_t served_so_far);
+  void WriteResponse(int fd, const HttpResponse& response, bool keep_alive);
   void CountResponse(int status);
 
   const HttpServerOptions options_;

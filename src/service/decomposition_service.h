@@ -17,6 +17,7 @@
 #include "engine/workspace.h"
 #include "obs/observability.h"
 #include "service/graph_registry.h"
+#include "service/live_graph.h"
 #include "service/result_cache.h"
 #include "service/service_types.h"
 
@@ -70,6 +71,16 @@ struct ServiceOptions {
   /// WorkspacePool, so its buckets/stamps are reused across requests like
   /// the rest of the per-worker scratch. Not part of the cache key.
   bool use_support_index = true;
+
+  /// Live-update seal policy (see LiveOptions): buffered edge updates per
+  /// graph before a seal is forced, …
+  size_t live_max_pending_edges = 4096;
+  /// … maximum age of the oldest buffered update before the next ApplyEdges
+  /// call seals (0 disables age-based sealing), …
+  uint64_t live_max_staleness_ms = 0;
+  /// … and the re-peeled-range fraction past which an incremental seal
+  /// stops attempting reuse (bit-identical either way).
+  double live_dirty_fraction_limit = 0.5;
 
   /// Metrics registry + trace flight recorder the service reports through.
   /// When null the service owns a private bundle, so instruments always
@@ -233,6 +244,18 @@ class DecompositionService {
 
   GraphRegistry& registry() { return *registry_; }
 
+  /// The live-update half of the serving layer: edge-update buffering,
+  /// seal policy, and incremental re-decomposition of tracked
+  /// configurations. Shares this service's registry, result cache, and
+  /// observability bundle, so a seal's epoch bump, cache priming, and
+  /// dead-epoch drop are visible to every request path.
+  LiveGraphManager& live() { return *live_; }
+
+  /// Drops every cached result computed on `epoch` (see
+  /// ResultCache::DropEpoch). The HTTP front-end calls this when a graph
+  /// is re-registered, the live path when a seal retires an epoch.
+  size_t DropCachedEpoch(uint64_t epoch) { return cache_.DropEpoch(epoch); }
+
  private:
   /// Coalescing identity: the cache key plus the thread count (a request
   /// explicitly asking for different parallelism is not folded into a
@@ -306,6 +329,8 @@ class DecompositionService {
   GraphRegistry* registry_;
   const ServiceOptions options_;
   ResultCache cache_;
+  /// Constructed in the ctor body once obs_ is resolved; never null after.
+  std::unique_ptr<LiveGraphManager> live_;
 
   /// Owned fallback bundle (allocated iff options.observability == null);
   /// obs_ always points at the live bundle.

@@ -1,0 +1,661 @@
+#include "service/live_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "tip/receipt_cd.h"
+#include "tip/receipt_fd.h"
+#include "tip/tip_common.h"
+#include "util/timer.h"
+#include "wing/receipt_wing.h"
+
+namespace receipt::service {
+
+namespace {
+
+using Edge = BipartiteGraph::Edge;
+
+/// Sentinel in the old→new edge-id map for edges the batch deleted.
+constexpr EdgeOffset kNoEdge = ~EdgeOffset{0};
+
+TipOptions TipSealOptions(const LiveConfig& config, int threads,
+                          engine::WorkspacePool* pool) {
+  TipOptions options;
+  options.side = Side::kU;  // the caller orients the graph
+  options.num_threads = threads;
+  options.num_partitions = static_cast<int>(config.partitions);
+  // HUC recounts rewrite every alive support mid-run, which forces the
+  // boundary patch log into a full snapshot and invalidates it for the
+  // next seal. HUC never changes results (RECEIPT-- equivalence), so seal
+  // runs simply pin it off to keep every run's log replayable.
+  options.use_huc = false;
+  // The patch log and the incremental replay both live on the SupportIndex.
+  options.use_support_index = true;
+  options.workspace_pool = pool;
+  return options;
+}
+
+ReceiptWingOptions WingSealOptions(const LiveConfig& config, int threads,
+                                   engine::WorkspacePool* pool) {
+  ReceiptWingOptions options;
+  options.num_threads = threads;
+  options.num_partitions = static_cast<int>(config.partitions);
+  options.use_support_index = true;
+  options.workspace_pool = pool;
+  return options;
+}
+
+uint64_t CountNonZero(std::span<const uint8_t> flags) {
+  uint64_t count = 0;
+  for (const uint8_t f : flags) count += f != 0;
+  return count;
+}
+
+}  // namespace
+
+LiveGraphManager::LiveGraphManager(GraphRegistry& registry, ResultCache& cache,
+                                   const LiveOptions& options,
+                                   obs::Observability& obs)
+    : registry_(&registry), cache_(&cache), options_(options), obs_(&obs) {
+  RegisterInstruments();
+}
+
+void LiveGraphManager::RegisterInstruments() {
+  obs::MetricsRegistry& m = obs_->metrics;
+  seals_incremental_ =
+      m.GetCounter("receipt_live_seal_runs_total",
+                   "Per-configuration live-seal engine runs, by mode.",
+                   {{"mode", "incremental"}});
+  seals_full_ =
+      m.GetCounter("receipt_live_seal_runs_total",
+                   "Per-configuration live-seal engine runs, by mode.",
+                   {{"mode", "full"}});
+  ranges_reused_total_ =
+      m.GetCounter("receipt_live_ranges_total",
+                   "Sealed coarse ranges at seal time, by disposition.",
+                   {{"state", "reused"}});
+  ranges_repeeled_total_ =
+      m.GetCounter("receipt_live_ranges_total",
+                   "Sealed coarse ranges at seal time, by disposition.",
+                   {{"state", "repeeled"}});
+  updates_total_ = m.GetCounter("receipt_live_updates_total",
+                                "Edge updates buffered into live graphs.");
+  pending_gauge_ =
+      m.GetGauge("receipt_live_pending_edges",
+                 "Edge updates currently buffered across live graphs.");
+  dirty_permille_ = m.GetGauge(
+      "receipt_live_dirty_permille",
+      "Re-peeled fraction of the most recent seal's ranges, in permille.");
+  seal_seconds_ = m.GetHistogram("receipt_live_seal_seconds",
+                                 "Wall time of live-update seals.");
+}
+
+LiveGraphManager::LiveGraphState* LiveGraphManager::GetOrCreateState(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = states_.find(name);
+    if (it != states_.end()) return it->second.get();
+  }
+  // Build outside mu_ (ToEdges on a large graph is not free), then publish.
+  GraphHandle handle = registry_->Acquire(name);
+  if (!handle) return nullptr;
+  auto state = std::make_unique<LiveGraphState>();
+  state->name = name;
+  state->edges = handle.graph().ToEdges();
+  state->handle = std::move(handle);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = states_.emplace(name, std::move(state));
+  return it->second.get();
+}
+
+LiveGraphManager::LiveGraphState* LiveGraphManager::FindState(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(name);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+Status LiveGraphManager::Track(const std::string& name,
+                               const LiveConfig& config, int threads,
+                               std::string* error) {
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    if (error != nullptr) *error = "graph '" + name + "' is not registered";
+    return Status::kNotFound;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return TrackLocked(*state, config, threads, error);
+}
+
+Status LiveGraphManager::TrackLocked(LiveGraphState& state,
+                                     const LiveConfig& config, int threads,
+                                     std::string* error) {
+  if (config.partitions == 0) {
+    if (error != nullptr) *error = "partitions must be positive";
+    return Status::kBadRequest;
+  }
+  // An external re-registration (a new epoch under this name) obsoletes the
+  // resident edge list and every baseline: resync before building on it.
+  GraphHandle current = registry_->Acquire(state.name);
+  if (!current) {
+    if (error != nullptr) {
+      *error = "graph '" + state.name + "' is not registered";
+    }
+    return Status::kNotFound;
+  }
+  if (current.epoch() != state.handle.epoch()) {
+    state.edges = current.graph().ToEdges();
+    state.handle = std::move(current);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.pending_edges -= state.pending.size();
+    }
+    state.pending.clear();
+    state.first_pending_ns = 0;
+    for (auto& [cfg, b] : state.tip) b.valid = false;
+    for (auto& [cfg, b] : state.wing) b.valid = false;
+    pending_gauge_->Set(stats().pending_edges);
+  }
+
+  threads = threads > 0 ? threads : std::max(1, options_.seal_threads);
+  const BipartiteGraph& graph = state.handle.graph();
+  PeelStats stats;
+  std::shared_ptr<Payload> payload;
+  Algorithm algorithm = Algorithm::kReceipt;
+  if (config.kind == RequestKind::kWing) {
+    algorithm = Algorithm::kReceiptWing;
+    Baseline<EdgeOffset>& b = state.wing[config];
+    const ReceiptWingOptions options =
+        WingSealOptions(config, threads, &state.pool);
+    WingIncremental inc;
+    inc.record = &b.log;
+    inc.initial_support = &b.old_support;
+    b.sealed = ReceiptWingCoarse(graph, options, &stats, inc);
+    b.numbers.assign(graph.num_edges(), 0);
+    ReceiptWingFine(graph, b.sealed, options, std::span<Count>(b.numbers),
+                    &stats, {});
+    b.valid = b.log.valid;
+    payload = std::make_shared<Payload>();
+    payload->numbers = b.numbers;
+  } else {
+    Baseline<VertexId>& b = state.tip[config];
+    const bool v_side = config.kind == RequestKind::kTipV;
+    BipartiteGraph swapped;
+    const BipartiteGraph* oriented = &graph;
+    if (v_side) {
+      swapped = graph.SwappedCopy();
+      oriented = &swapped;
+    }
+    const TipOptions options = TipSealOptions(config, threads, &state.pool);
+    CdIncremental inc;
+    inc.record = &b.log;
+    inc.initial_support = &b.old_support;
+    b.sealed = ReceiptCd(*oriented, options, state.pool, &stats, inc);
+    b.numbers.assign(oriented->num_u(), 0);
+    ReceiptFd(*oriented, b.sealed, options, state.pool,
+              std::span<Count>(b.numbers), &stats, {});
+    b.valid = b.log.valid;
+    payload = std::make_shared<Payload>();
+    payload->numbers = b.numbers;
+  }
+  payload->stats = stats;
+  // A tracked configuration is always answerable from cache on the sealed
+  // epoch — starting with the one its baseline was just built on.
+  cache_->Put(CacheKey{state.handle.epoch(), config.kind, algorithm,
+                       config.partitions},
+              std::move(payload));
+  return Status::kOk;
+}
+
+ApplyResult LiveGraphManager::ApplyEdges(const std::string& name,
+                                         std::span<const EdgeUpdate> updates,
+                                         bool force_seal, int threads,
+                                         std::span<const LiveConfig> track) {
+  ApplyResult result;
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    result.status = Status::kNotFound;
+    result.error = "graph '" + name + "' is not registered";
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+
+  for (const LiveConfig& config : track) {
+    const Status status = TrackLocked(*state, config, threads, &result.error);
+    if (status != Status::kOk) {
+      result.status = status;
+      return result;
+    }
+  }
+
+  const BipartiteGraph& graph = state->handle.graph();
+  result.epoch = state->handle.epoch();
+  for (const EdgeUpdate& update : updates) {
+    if (update.u >= graph.num_u() || update.v >= graph.num_v()) {
+      result.status = Status::kBadRequest;
+      result.error = "edge (" + std::to_string(update.u) + ", " +
+                     std::to_string(update.v) +
+                     ") lies outside the registered shape; re-register the "
+                     "graph to grow it";
+      result.pending = state->pending.size();
+      return result;
+    }
+  }
+
+  if (!updates.empty()) {
+    if (state->pending.empty()) {
+      state->first_pending_ns = obs::TraceRecorder::NowNs();
+    }
+    state->pending.insert(state->pending.end(), updates.begin(),
+                          updates.end());
+    updates_total_->Increment(updates.size());
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    ++stats_.batches_total;
+    stats_.updates_total += updates.size();
+    stats_.pending_edges += updates.size();
+  }
+  result.accepted = updates.size();
+  result.pending = state->pending.size();
+
+  bool seal = force_seal;
+  if (state->pending.size() >= options_.max_pending_edges) seal = true;
+  if (options_.max_staleness_ms > 0 && state->first_pending_ns != 0) {
+    const uint64_t age_ns =
+        obs::TraceRecorder::NowNs() - state->first_pending_ns;
+    if (age_ns / 1'000'000 >= options_.max_staleness_ms) seal = true;
+  }
+  if (seal && !state->pending.empty()) {
+    SealLocked(*state, threads, &result);
+    result.pending = 0;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    pending_gauge_->Set(stats_.pending_edges);
+  }
+  return result;
+}
+
+void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
+                                  ApplyResult* result) {
+  const WallTimer timer;
+  threads = threads > 0 ? threads : std::max(1, options_.seal_threads);
+  const GraphHandle old_handle = state.handle;  // keeps the old graph alive
+  const BipartiteGraph& old_graph = old_handle.graph();
+
+  // Fold the buffer: the last operation on each (u, v) wins, and only
+  // operations that actually change edge presence count as changes.
+  std::map<Edge, bool> ops;
+  for (const EdgeUpdate& update : state.pending) {
+    ops[Edge{update.u, update.v}] = update.insert;
+  }
+
+  // One merge pass over the sorted current edge list and the sorted ops
+  // produces the new sorted edge list, the changed-edge set, and — because
+  // sorted (u, v) rank *is* the wing edge id — the old→new edge-id map.
+  std::vector<Edge> new_edges;
+  new_edges.reserve(state.edges.size() + ops.size());
+  std::vector<Edge> changed;
+  std::vector<EdgeOffset> old_to_new(state.edges.size(), kNoEdge);
+  auto op = ops.begin();
+  for (size_t i = 0; i < state.edges.size(); ++i) {
+    const Edge e = state.edges[i];
+    while (op != ops.end() && op->first < e) {
+      if (op->second) {
+        changed.push_back(op->first);
+        new_edges.push_back(op->first);
+      }
+      ++op;
+    }
+    bool keep = true;
+    if (op != ops.end() && op->first == e) {
+      if (!op->second) {
+        keep = false;
+        changed.push_back(e);
+      }
+      ++op;  // inserting a present edge is a no-op
+    }
+    if (keep) {
+      old_to_new[i] = static_cast<EdgeOffset>(new_edges.size());
+      new_edges.push_back(e);
+    }
+  }
+  for (; op != ops.end(); ++op) {
+    if (op->second) {
+      changed.push_back(op->first);
+      new_edges.push_back(op->first);
+    }
+  }
+
+  BipartiteGraph new_graph = BipartiteGraph::FromEdges(
+      old_graph.num_u(), old_graph.num_v(), new_edges);
+
+  // Run every tracked configuration against the new graph — incrementally
+  // when its baseline allows — collecting the payloads that will prime the
+  // cache under the epoch we are about to install.
+  std::vector<std::pair<CacheKey, std::shared_ptr<Payload>>> primes;
+  for (auto& [config, baseline] : state.tip) {
+    SealConfigReport report;
+    auto payload = SealTip(state, config, baseline, old_graph, new_graph,
+                           changed, threads, &report);
+    primes.emplace_back(CacheKey{0, config.kind, Algorithm::kReceipt,
+                                 config.partitions},
+                        std::move(payload));
+    result->reports.push_back(std::move(report));
+  }
+  for (auto& [config, baseline] : state.wing) {
+    SealConfigReport report;
+    auto payload = SealWing(state, config, baseline, old_graph, new_graph,
+                            changed, old_to_new, threads, &report);
+    primes.emplace_back(CacheKey{0, config.kind, Algorithm::kReceiptWing,
+                                 config.partitions},
+                        std::move(payload));
+    result->reports.push_back(std::move(report));
+  }
+
+  // Install the new epoch. Requests admitted before this line served the
+  // old snapshot; everything after resolves to the sealed graph.
+  const uint64_t old_epoch = old_handle.epoch();
+  registry_->Register(state.name, std::move(new_graph));
+  state.handle = registry_->Acquire(state.name);
+  const uint64_t new_epoch = state.handle.epoch();
+  cache_->DropEpoch(old_epoch);
+  for (auto& [key, payload] : primes) {
+    CacheKey keyed = key;
+    keyed.epoch = new_epoch;
+    cache_->Put(keyed, std::move(payload));
+  }
+
+  const size_t folded = state.pending.size();
+  state.edges = std::move(new_edges);
+  state.pending.clear();
+  state.first_pending_ns = 0;
+
+  result->sealed = true;
+  result->epoch = new_epoch;
+  result->seal_seconds = timer.Seconds();
+  seal_seconds_->ObserveSeconds(result->seal_seconds);
+
+  uint64_t reused = 0;
+  uint64_t repeeled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.seals_total;
+    stats_.pending_edges -= folded;
+    for (const SealConfigReport& report : result->reports) {
+      if (report.incremental) {
+        ++stats_.runs_incremental;
+        seals_incremental_->Increment();
+      } else {
+        ++stats_.runs_full;
+        seals_full_->Increment();
+      }
+      stats_.ranges_reused += report.ranges_reused;
+      stats_.ranges_repeeled += report.ranges_repeeled;
+      reused += report.ranges_reused;
+      repeeled += report.ranges_repeeled;
+    }
+  }
+  ranges_reused_total_->Increment(reused);
+  ranges_repeeled_total_->Increment(repeeled);
+  if (reused + repeeled > 0) {
+    dirty_permille_->Set(repeeled * 1000 / (reused + repeeled));
+  }
+}
+
+std::shared_ptr<Payload> LiveGraphManager::SealTip(
+    LiveGraphState& state, const LiveConfig& config,
+    Baseline<VertexId>& baseline, const BipartiteGraph& old_graph,
+    const BipartiteGraph& new_graph, std::span<const Edge> changed,
+    int threads, SealConfigReport* report) {
+  const bool v_side = config.kind == RequestKind::kTipV;
+  const VertexId n = v_side ? new_graph.num_v() : new_graph.num_u();
+
+  // Structural dirty set: for each changed edge (u, v), the peeled-side
+  // endpoint plus every peeled-side vertex that shares the opposite
+  // endpoint in either the old or the new graph. Every butterfly the batch
+  // created or destroyed has all of its peelable vertices inside this set,
+  // which is exactly what the engine's clean-range proof requires.
+  std::vector<uint8_t> dirty(n, 0);
+  for (const Edge& e : changed) {
+    if (!v_side) {
+      dirty[e.u] = 1;
+      for (const VertexId w : old_graph.Neighbors(old_graph.VGlobal(e.v))) {
+        dirty[w] = 1;
+      }
+      for (const VertexId w : new_graph.Neighbors(new_graph.VGlobal(e.v))) {
+        dirty[w] = 1;
+      }
+    } else {
+      dirty[e.v] = 1;
+      for (const VertexId w : old_graph.Neighbors(e.u)) {
+        dirty[w - old_graph.num_u()] = 1;
+      }
+      for (const VertexId w : new_graph.Neighbors(e.u)) {
+        dirty[w - new_graph.num_u()] = 1;
+      }
+    }
+  }
+
+  BipartiteGraph swapped;
+  const BipartiteGraph* oriented = &new_graph;
+  if (v_side) {
+    swapped = new_graph.SwappedCopy();
+    oriented = &swapped;
+  }
+
+  const TipOptions options = TipSealOptions(config, threads, &state.pool);
+  PeelStats stats;
+  engine::IncrementalSeed<VertexId> seed;
+  engine::IncrementalOutcome outcome;
+  engine::CoarsePatchLog new_log;
+  std::vector<Count> new_initial;
+  CdIncremental inc;
+  inc.record = &new_log;
+  inc.initial_support = &new_initial;
+  // Tip entity ids are stable across seals (the shape is fixed), so the
+  // baseline seeds the run as-is.
+  const bool seeded = baseline.valid && baseline.log.valid &&
+                      baseline.old_support.size() == n &&
+                      baseline.numbers.size() == n;
+  if (seeded) {
+    seed.sealed = &baseline.sealed;
+    seed.log = &baseline.log;
+    seed.old_support = baseline.old_support;
+    seed.structural_dirty = dirty;
+    seed.dirty_fraction_limit = options_.dirty_fraction_limit;
+    inc.seed = &seed;
+    inc.outcome = &outcome;
+  }
+  CdResult cd = ReceiptCd(*oriented, options, state.pool, &stats, inc);
+
+  std::vector<Count> numbers;
+  std::span<const uint8_t> only;
+  if (seeded) {
+    numbers = baseline.numbers;  // clean subsets keep their sealed numbers
+    only = outcome.subset_dirty;
+  } else {
+    numbers.assign(n, 0);
+  }
+  ReceiptFd(*oriented, cd, options, state.pool, std::span<Count>(numbers),
+            &stats, only);
+
+  report->config = config;
+  report->subsets_total = cd.subsets.size();
+  report->incremental = seeded && !outcome.fell_back_full;
+  if (seeded) {
+    report->ranges_reused = outcome.ranges_reused;
+    report->ranges_repeeled = outcome.ranges_repeeled;
+    report->subsets_repeeled = CountNonZero(outcome.subset_dirty);
+  } else {
+    report->ranges_repeeled = cd.subsets.size();
+    report->subsets_repeeled = cd.subsets.size();
+  }
+
+  baseline.sealed = std::move(cd);
+  baseline.log = std::move(new_log);
+  baseline.old_support = std::move(new_initial);
+  baseline.numbers = numbers;
+  baseline.valid = baseline.log.valid;
+
+  auto payload = std::make_shared<Payload>();
+  payload->numbers = std::move(numbers);
+  payload->stats = stats;
+  return payload;
+}
+
+std::shared_ptr<Payload> LiveGraphManager::SealWing(
+    LiveGraphState& state, const LiveConfig& config,
+    Baseline<EdgeOffset>& baseline, const BipartiteGraph& old_graph,
+    const BipartiteGraph& new_graph, std::span<const Edge> changed,
+    std::span<const EdgeOffset> old_to_new, int threads,
+    SealConfigReport* report) {
+  const uint64_t new_m = new_graph.num_edges();
+
+  // Structural dirty set over edges: every edge incident to a U vertex
+  // that any changed butterfly can touch — the changed edges' U endpoints
+  // plus the old/new U-neighborhoods of their V endpoints. Edge ids of a
+  // U vertex are its contiguous U-side CSR slots.
+  std::vector<uint8_t> marked_u(new_graph.num_u(), 0);
+  for (const Edge& e : changed) {
+    marked_u[e.u] = 1;
+    for (const VertexId w : old_graph.Neighbors(old_graph.VGlobal(e.v))) {
+      marked_u[w] = 1;
+    }
+    for (const VertexId w : new_graph.Neighbors(new_graph.VGlobal(e.v))) {
+      marked_u[w] = 1;
+    }
+  }
+  std::vector<uint8_t> dirty(new_m, 0);
+  const std::span<const EdgeOffset> offsets = new_graph.offsets();
+  for (VertexId u = 0; u < new_graph.num_u(); ++u) {
+    if (!marked_u[u]) continue;
+    for (EdgeOffset e = offsets[u]; e < offsets[u + 1]; ++e) dirty[e] = 1;
+  }
+
+  // Remap the sealed baseline into the new edge-id space. Deleted edges
+  // drop out of member lists and the patch log; a subset that lost a
+  // member no longer matches the sealed peel order, so it is force-dirty.
+  // Inserted edges carry the kInvalidCount did-not-exist sentinel.
+  engine::RangeResult<EdgeOffset> remapped;
+  engine::CoarsePatchLog remapped_log;
+  std::vector<uint8_t> force_dirty;
+  std::vector<Count> old_support_new;
+  std::vector<Count> numbers_new;
+  const bool seeded = baseline.valid && baseline.log.valid &&
+                      baseline.old_support.size() == old_to_new.size() &&
+                      baseline.numbers.size() == old_to_new.size();
+  if (seeded) {
+    remapped.bounds = baseline.sealed.bounds;
+    const size_t num_subsets = baseline.sealed.subsets.size();
+    remapped.subsets.resize(num_subsets);
+    force_dirty.assign(num_subsets, 0);
+    for (size_t i = 0; i < num_subsets; ++i) {
+      std::vector<EdgeOffset>& out = remapped.subsets[i];
+      out.reserve(baseline.sealed.subsets[i].size());
+      for (const EdgeOffset old_id : baseline.sealed.subsets[i]) {
+        const EdgeOffset mapped = old_to_new[old_id];
+        if (mapped == kNoEdge) {
+          force_dirty[i] = 1;
+        } else {
+          out.push_back(mapped);
+        }
+      }
+    }
+    remapped.subset_of.assign(new_m, 0);
+    for (size_t i = 0; i < num_subsets; ++i) {
+      for (const EdgeOffset e : remapped.subsets[i]) {
+        remapped.subset_of[e] = static_cast<uint32_t>(i);
+      }
+    }
+    remapped_log.ranges.resize(baseline.log.ranges.size());
+    for (size_t i = 0; i < baseline.log.ranges.size(); ++i) {
+      for (const auto& [old_id, value] : baseline.log.ranges[i]) {
+        const EdgeOffset mapped = old_to_new[old_id];
+        if (mapped != kNoEdge) {
+          remapped_log.ranges[i].emplace_back(mapped, value);
+        }
+      }
+    }
+    old_support_new.assign(new_m, kInvalidCount);
+    numbers_new.assign(new_m, 0);
+    for (size_t i = 0; i < old_to_new.size(); ++i) {
+      if (old_to_new[i] != kNoEdge) {
+        old_support_new[old_to_new[i]] = baseline.old_support[i];
+        numbers_new[old_to_new[i]] = baseline.numbers[i];
+      }
+    }
+  }
+
+  const ReceiptWingOptions options =
+      WingSealOptions(config, threads, &state.pool);
+  PeelStats stats;
+  engine::IncrementalSeed<EdgeOffset> seed;
+  engine::IncrementalOutcome outcome;
+  engine::CoarsePatchLog new_log;
+  std::vector<Count> new_initial;
+  WingIncremental inc;
+  inc.record = &new_log;
+  inc.initial_support = &new_initial;
+  if (seeded) {
+    seed.sealed = &remapped;
+    seed.log = &remapped_log;
+    seed.old_support = old_support_new;
+    seed.structural_dirty = dirty;
+    seed.force_dirty_subset = force_dirty;
+    seed.dirty_fraction_limit = options_.dirty_fraction_limit;
+    inc.seed = &seed;
+    inc.outcome = &outcome;
+  }
+  engine::RangeResult<EdgeOffset> coarse =
+      ReceiptWingCoarse(new_graph, options, &stats, inc);
+
+  std::vector<Count> numbers;
+  std::span<const uint8_t> only;
+  if (seeded) {
+    numbers = std::move(numbers_new);  // clean subsets keep sealed numbers
+    only = outcome.subset_dirty;
+  } else {
+    numbers.assign(new_m, 0);
+  }
+  ReceiptWingFine(new_graph, coarse, options, std::span<Count>(numbers),
+                  &stats, only);
+
+  report->config = config;
+  report->subsets_total = coarse.subsets.size();
+  report->incremental = seeded && !outcome.fell_back_full;
+  if (seeded) {
+    report->ranges_reused = outcome.ranges_reused;
+    report->ranges_repeeled = outcome.ranges_repeeled;
+    report->subsets_repeeled = CountNonZero(outcome.subset_dirty);
+  } else {
+    report->ranges_repeeled = coarse.subsets.size();
+    report->subsets_repeeled = coarse.subsets.size();
+  }
+
+  baseline.sealed = std::move(coarse);
+  baseline.log = std::move(new_log);
+  baseline.old_support = std::move(new_initial);
+  baseline.numbers = numbers;
+  baseline.valid = baseline.log.valid;
+
+  auto payload = std::make_shared<Payload>();
+  payload->numbers = std::move(numbers);
+  payload->stats = stats;
+  return payload;
+}
+
+size_t LiveGraphManager::PendingEdges(const std::string& name) const {
+  LiveGraphState* state = FindState(name);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->pending.size();
+}
+
+LiveGraphManager::Stats LiveGraphManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace receipt::service

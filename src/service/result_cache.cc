@@ -36,6 +36,23 @@ void ResultCache::Put(const CacheKey& key,
   EvictOverBudgetLocked();
 }
 
+size_t ResultCache::DropEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.epoch != epoch) {
+      ++it;
+      continue;
+    }
+    bytes_ -= it->second->ApproxBytes();
+    index_.erase(it->first);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  stats_.epoch_drops += dropped;
+  return dropped;
+}
+
 void ResultCache::EvictOverBudgetLocked() {
   while (bytes_ > budget_ && !lru_.empty()) {
     const auto& [key, payload] = lru_.back();

@@ -57,11 +57,19 @@ class ResultCache {
   /// evicted immediately — the cache never pins more than `byte_budget`.
   void Put(const CacheKey& key, std::shared_ptr<const Payload> payload);
 
+  /// Drops every entry whose key carries `epoch` and returns how many were
+  /// removed. Called when a registry epoch dies (graph re-registered or a
+  /// live-update batch sealed): dead-epoch payloads can never be requested
+  /// again — their keys are unreachable — so proactive removal frees budget
+  /// for live results instead of waiting for LRU aging.
+  size_t DropEpoch(uint64_t epoch);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t epoch_drops = 0;
     size_t bytes = 0;
     size_t entries = 0;
   };

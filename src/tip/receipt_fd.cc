@@ -99,6 +99,13 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
 void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
                const TipOptions& options, engine::WorkspacePool& pool,
                std::span<Count> tip_numbers, PeelStats* stats) {
+  ReceiptFd(graph, cd, options, pool, tip_numbers, stats, {});
+}
+
+void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
+               const TipOptions& options, engine::WorkspacePool& pool,
+               std::span<Count> tip_numbers, PeelStats* stats,
+               std::span<const uint8_t> only_subsets) {
   const WallTimer fd_timer;
   const uint64_t fd_start_ns =
       options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
@@ -205,6 +212,12 @@ void ReceiptFd(const BipartiteGraph& graph, const CdResult& cd,
         }
       }
       if (source < 0) break;
+      // Selective FD (incremental serving): unselected subsets keep their
+      // sealed numbers; popping and skipping keeps the plan cursors shared.
+      if (!only_subsets.empty() &&
+          (sid >= only_subsets.size() || only_subsets[sid] == 0)) {
+        continue;
+      }
       if (source == home) {
         ++local.placement_local_pops;
       } else {

@@ -25,6 +25,9 @@ void PeelStats::Merge(const PeelStats& other) {
   histogram_refines += other.histogram_refines;
   init_patch_elements += other.init_patch_elements;
   index_rebuild_elements += other.index_rebuild_elements;
+  incremental_replay_elements += other.incremental_replay_elements;
+  incremental_ranges_reused += other.incremental_ranges_reused;
+  incremental_ranges_repeeled += other.incremental_ranges_repeeled;
   // Cost gauges, not counters: keep the larger observation when folding.
   scan_cost_per_element = std::max(scan_cost_per_element,
                                    other.scan_cost_per_element);
@@ -70,6 +73,9 @@ std::string PeelStats::ToString() const {
      << " histogram_refines=" << histogram_refines
      << " init_patch_elements=" << init_patch_elements
      << " index_rebuild_elements=" << index_rebuild_elements << "\n"
+     << "  incremental: replay_elements=" << incremental_replay_elements
+     << " ranges_reused=" << incremental_ranges_reused
+     << " ranges_repeeled=" << incremental_ranges_repeeled << "\n"
      << "  seconds: counting=" << seconds_counting << " cd=" << seconds_cd
      << " fd=" << seconds_fd << " total=" << seconds_total << "\n"
      << "}";

@@ -26,7 +26,8 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
                                      const ReceiptWingOptions& options,
                                      std::vector<Count>& support,
                                      engine::WorkspacePool& pool,
-                                     PeelStats* stats) {
+                                     PeelStats* stats,
+                                     const WingIncremental& inc) {
   const uint64_t num_edges = graph.num_edges();
   const int num_threads = options.num_threads;
   const uint32_t max_partitions =
@@ -48,7 +49,10 @@ CoarseWingResult CoarseWingDecompose(const BipartiteGraph& graph,
       peel_graph, cost_static,
       engine::MakeCoarseOptions(options, max_partitions), pool,
       /*maintenance=*/nullptr, options.control);
-  return decomposer.Run(stats);
+  decomposer.set_patch_log(inc.record);
+  return inc.seed != nullptr
+             ? decomposer.RunIncremental(*inc.seed, inc.outcome, stats)
+             : decomposer.Run(stats);
 }
 
 /// Fine-grained step for one edge subset: sequential bottom-up edge peeling
@@ -116,6 +120,12 @@ void FineWingSubset(const BipartiteGraph& graph,
 engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
     const BipartiteGraph& graph, const ReceiptWingOptions& options,
     PeelStats* stats) {
+  return ReceiptWingCoarse(graph, options, stats, WingIncremental{});
+}
+
+engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
+    const BipartiteGraph& graph, const ReceiptWingOptions& options,
+    PeelStats* stats, const WingIncremental& inc) {
   const uint64_t num_edges = graph.num_edges();
   CoarseWingResult coarse;
   coarse.bounds = {0};
@@ -137,14 +147,68 @@ engine::RangeResult<EdgeOffset> ReceiptWingCoarse(
   stats->seconds_counting += count_timer.Seconds();
   options.trace.EmitSince("engine.count", count_start_ns,
                           stats->wedges_counting);
+  if (inc.initial_support != nullptr) *inc.initial_support = support;
 
   const uint64_t cd_start_ns =
       options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
   const WallTimer cd_timer;
-  coarse = CoarseWingDecompose(graph, topo, options, support, pool, stats);
+  coarse =
+      CoarseWingDecompose(graph, topo, options, support, pool, stats, inc);
   stats->seconds_cd += cd_timer.Seconds();
   options.trace.EmitSince("engine.cd", cd_start_ns, coarse.subsets.size());
   return coarse;
+}
+
+void ReceiptWingFine(const BipartiteGraph& graph,
+                     const engine::RangeResult<EdgeOffset>& coarse,
+                     const ReceiptWingOptions& options,
+                     std::span<Count> wing_numbers, PeelStats* stats,
+                     std::span<const uint8_t> only_subsets) {
+  engine::WorkspacePool local_pool;
+  engine::WorkspacePool& pool =
+      engine::ResolvePool(options.workspace_pool, local_pool);
+  pool.Prepare(std::max(1, options.num_threads), graph.num_u(),
+               graph.num_v());
+
+  const WallTimer fd_timer;
+  const uint64_t fd_start_ns =
+      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
+  const std::vector<BipartiteGraph::Edge> all_edges = graph.ToEdges();
+  const uint32_t num_subsets = static_cast<uint32_t>(coarse.subsets.size());
+  // Workload-aware order: big subsets first (cost ≈ member count here).
+  std::vector<uint32_t> order(num_subsets);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return coarse.subsets[a].size() > coarse.subsets[b].size();
+  });
+  std::atomic<uint32_t> next_task{0};
+  std::vector<PeelStats> local_stats(
+      static_cast<size_t>(options.num_threads));
+#pragma omp parallel num_threads(options.num_threads)
+  {
+    const int tid = ThreadId();
+    PeelStats& local = local_stats[static_cast<size_t>(tid)];
+    engine::PeelWorkspace& ws = pool.Get(tid);
+    while (true) {
+      if (options.control != nullptr && options.control->Cancelled()) break;
+      const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_subsets) break;
+      const uint32_t sid = order[k];
+      // Selective FD (incremental serving): clean subsets keep their
+      // sealed numbers.
+      if (!only_subsets.empty() &&
+          (sid >= only_subsets.size() || only_subsets[sid] == 0)) {
+        continue;
+      }
+      FineWingSubset(graph, coarse, sid, all_edges, ws, wing_numbers,
+                     options.control, &local);
+    }
+  }
+  for (const PeelStats& local : local_stats) {
+    stats->wedges_fd += local.wedges_fd;
+  }
+  stats->seconds_fd += fd_timer.Seconds();
+  options.trace.EmitSince("engine.fd", fd_start_ns, num_subsets);
 }
 
 WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
@@ -170,38 +234,8 @@ WingResult ReceiptWingDecompose(const BipartiteGraph& graph,
   const CoarseWingResult coarse =
       ReceiptWingCoarse(graph, coarse_options, &result.stats);
 
-  const WallTimer fd_timer;
-  const uint64_t fd_start_ns =
-      options.trace.enabled() ? obs::TraceRecorder::NowNs() : 0;
-  const std::vector<BipartiteGraph::Edge> all_edges = graph.ToEdges();
-  const uint32_t num_subsets = static_cast<uint32_t>(coarse.subsets.size());
-  // Workload-aware order: big subsets first (cost ≈ member count here).
-  std::vector<uint32_t> order(num_subsets);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return coarse.subsets[a].size() > coarse.subsets[b].size();
-  });
-  std::atomic<uint32_t> next_task{0};
-  std::vector<PeelStats> local_stats(
-      static_cast<size_t>(options.num_threads));
-#pragma omp parallel num_threads(options.num_threads)
-  {
-    const int tid = ThreadId();
-    PeelStats& local = local_stats[static_cast<size_t>(tid)];
-    engine::PeelWorkspace& ws = pool.Get(tid);
-    while (true) {
-      if (options.control != nullptr && options.control->Cancelled()) break;
-      const uint32_t k = next_task.fetch_add(1, std::memory_order_relaxed);
-      if (k >= num_subsets) break;
-      FineWingSubset(graph, coarse, order[k], all_edges, ws,
-                     result.wing_numbers, options.control, &local);
-    }
-  }
-  for (const PeelStats& local : local_stats) {
-    result.stats.wedges_fd += local.wedges_fd;
-  }
-  result.stats.seconds_fd = fd_timer.Seconds();
-  options.trace.EmitSince("engine.fd", fd_start_ns, num_subsets);
+  ReceiptWingFine(graph, coarse, coarse_options,
+                  std::span<Count>(result.wing_numbers), &result.stats, {});
   result.stats.seconds_total = total_timer.Seconds();
   return result;
 }

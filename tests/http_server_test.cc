@@ -43,10 +43,7 @@ struct ClientResult {
   std::string body;
 };
 
-/// Opens a loopback connection and sends one fully-formed request.
-/// Returns the connected socket (caller closes).
-int SendRequest(uint16_t port, const std::string& method,
-                const std::string& path, const std::string& body) {
+int ConnectLoopback(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
   sockaddr_in addr{};
@@ -56,16 +53,32 @@ int SendRequest(uint16_t port, const std::string& method,
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0)
       << std::strerror(errno);
+  return fd;
+}
+
+/// Sends one fully-formed request on an already-connected socket.
+void SendOnSocket(int fd, const std::string& method, const std::string& path,
+                  const std::string& body,
+                  const std::string& extra_headers = "") {
   std::string request = method + " " + path + " HTTP/1.1\r\n" +
-                        "Host: 127.0.0.1\r\n" +
+                        "Host: 127.0.0.1\r\n" + extra_headers +
                         "Content-Length: " + std::to_string(body.size()) +
                         "\r\n\r\n" + body;
   EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
             static_cast<ssize_t>(request.size()));
+}
+
+/// Opens a loopback connection and sends one request that asks the server
+/// to close afterwards (so EOF-delimited reads stay fast under the
+/// keep-alive default). Returns the connected socket (caller closes).
+int SendRequest(uint16_t port, const std::string& method,
+                const std::string& path, const std::string& body) {
+  const int fd = ConnectLoopback(port);
+  SendOnSocket(fd, method, path, body, "Connection: close\r\n");
   return fd;
 }
 
-/// Reads the full response (server always closes after one response).
+/// Reads the full response (the request asked the server to close).
 ClientResult ReadResponse(int fd) {
   std::string raw;
   char chunk[4096];
@@ -79,6 +92,45 @@ ClientResult ReadResponse(int fd) {
   if (raw.size() > 12) result.status = std::atoi(raw.c_str() + 9);
   const size_t body_start = raw.find("\r\n\r\n");
   if (body_start != std::string::npos) result.body = raw.substr(body_start + 4);
+  return result;
+}
+
+struct FramedResult {
+  int status = 0;
+  std::string headers;  ///< raw header block, lower-case comparisons ok
+  std::string body;
+  bool complete = false;  ///< false when the connection closed mid-read
+};
+
+/// Reads exactly one Content-Length-framed response, leaving the connection
+/// open — the client side of keep-alive. `carry` holds bytes of the next
+/// response that arrived in the same recv (pass the same string across
+/// calls when responses may be pipelined).
+FramedResult ReadFramedResponse(int fd, std::string* carry = nullptr) {
+  FramedResult result;
+  std::string local;
+  std::string& raw = carry != nullptr ? *carry : local;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while ((header_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return result;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  result.status = std::atoi(raw.c_str() + 9);
+  result.headers = raw.substr(0, header_end);
+  const size_t length_at = result.headers.find("Content-Length: ");
+  if (length_at == std::string::npos) return result;
+  const size_t content_length = static_cast<size_t>(
+      std::atoll(result.headers.c_str() + length_at + 16));
+  while (raw.size() - header_end - 4 < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return result;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  result.body = raw.substr(header_end + 4, content_length);
+  raw.erase(0, header_end + 4 + content_length);
+  result.complete = true;
   return result;
 }
 
@@ -111,9 +163,10 @@ std::vector<Count> NumbersFrom(const util::JsonValue& json) {
 /// Everything a serving test needs, wired and started on an ephemeral port.
 struct TestServer {
   explicit TestServer(const ServiceOptions& service_options = {},
-                      int http_threads = 4)
+                      int http_threads = 4,
+                      HttpServerOptions http_options = {})
       : service(registry, service_options) {
-    HttpServerOptions options;
+    HttpServerOptions options = http_options;
     options.num_threads = http_threads;
     server = std::make_unique<HttpServer>(options);
     frontend =
@@ -409,6 +462,211 @@ TEST(HttpServerTest, HealthzAndStatzReportServingState) {
   const util::JsonValue* workers = json.Find("workers");
   ASSERT_NE(workers, nullptr);
   EXPECT_EQ(workers->Find("total")->AsUint(), 2u);
+}
+
+TEST(HttpServerTest, EdgeUpdateSealMatchesDirectDecomposeOfFinalGraph) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  TestServer ts(options);
+  const BipartiteGraph before = G1();
+  ts.registry.Register("g1", G1());
+
+  // Mutate: delete two existing edges, insert two absent ones.
+  std::vector<BipartiteGraph::Edge> edges = before.ToEdges();
+  const BipartiteGraph::Edge dead1 = edges[3];
+  const BipartiteGraph::Edge dead2 = edges[edges.size() / 2];
+  auto exists = [&](VertexId u, VertexId v) {
+    return std::find_if(edges.begin(), edges.end(),
+                        [&](const BipartiteGraph::Edge& e) {
+                          return e.u == u && e.v == v;
+                        }) != edges.end();
+  };
+  std::vector<BipartiteGraph::Edge> inserted;
+  for (VertexId u = 0; u < before.num_u() && inserted.size() < 2; ++u) {
+    for (VertexId v = 0; v < before.num_v() && inserted.size() < 2; ++v) {
+      if (!exists(u, v)) inserted.push_back({u, v});
+    }
+  }
+  ASSERT_EQ(inserted.size(), 2u);
+
+  std::string batch = R"({"seal": true, "threads": 2,)"
+                      R"( "track": [{"kind": "tip-U", "partitions": 6}],)"
+                      R"( "edges": [)";
+  auto edge_json = [](const char* op, const BipartiteGraph::Edge& e) {
+    return std::string("{\"op\":\"") + op +
+           "\",\"u\":" + std::to_string(e.u) +
+           ",\"v\":" + std::to_string(e.v) + "}";
+  };
+  batch += edge_json("delete", dead1) + "," + edge_json("delete", dead2) +
+           "," + edge_json("insert", inserted[0]) + "," +
+           edge_json("insert", inserted[1]) + "]}";
+
+  const ClientResult sealed =
+      Fetch(ts.port(), "POST", "/v1/graphs/g1/edges", batch);
+  ASSERT_EQ(sealed.status, 200) << sealed.body;
+  const util::JsonValue seal_json = ParseBody(sealed);
+  EXPECT_TRUE(seal_json.Find("sealed")->AsBool());
+  EXPECT_EQ(seal_json.Find("accepted")->AsUint(), 4u);
+  EXPECT_EQ(seal_json.Find("pending")->AsUint(), 0u);
+  const util::JsonValue* runs = seal_json.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->Items().size(), 1u);
+  EXPECT_GT(runs->Items()[0].Find("subsets_total")->AsUint(), 0u);
+
+  // The post-seal decompose must be a cache hit (primed at seal) and
+  // bit-identical to a from-scratch decomposition of the final graph.
+  const ClientResult result = Fetch(
+      ts.port(), "POST", "/v1/decompose",
+      R"({"graph": "g1", "kind": "tip-U", "algo": "RECEIPT",)"
+      R"( "partitions": 6, "threads": 2})");
+  ASSERT_EQ(result.status, 200);
+  const util::JsonValue json = ParseBody(result);
+  EXPECT_TRUE(json.Find("cache_hit")->AsBool());
+
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [&](const BipartiteGraph::Edge& e) {
+                               return (e.u == dead1.u && e.v == dead1.v) ||
+                                      (e.u == dead2.u && e.v == dead2.v);
+                             }),
+              edges.end());
+  edges.push_back(inserted[0]);
+  edges.push_back(inserted[1]);
+  const BipartiteGraph after =
+      BipartiteGraph::FromEdges(before.num_u(), before.num_v(), edges);
+  TipOptions direct;
+  direct.num_threads = 2;
+  direct.num_partitions = 6;
+  EXPECT_EQ(NumbersFrom(json), ReceiptDecompose(after, direct).tip_numbers);
+
+  // Out-of-shape endpoints reject the whole batch: growing needs a
+  // re-registration, not a live update.
+  const ClientResult rejected = Fetch(
+      ts.port(), "POST", "/v1/graphs/g1/edges",
+      R"({"edges": [{"op": "insert", "u": 99999, "v": 0}]})");
+  EXPECT_EQ(rejected.status, 400);
+  // Unknown graphs are 404s.
+  EXPECT_EQ(Fetch(ts.port(), "POST", "/v1/graphs/nope/edges",
+                  R"({"edges": []})")
+                .status,
+            404);
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  TestServer ts;
+  ts.registry.Register("g1", G1());
+
+  const int fd = ConnectLoopback(ts.port());
+  for (int i = 0; i < 5; ++i) {
+    SendOnSocket(fd, "GET", "/healthz", "");
+    const FramedResult result = ReadFramedResponse(fd);
+    ASSERT_TRUE(result.complete) << "connection dropped on request " << i;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_NE(result.headers.find("Connection: keep-alive"),
+              std::string::npos);
+  }
+  ::close(fd);
+  EXPECT_EQ(ts.server->stats().keepalive_reuses, 4u);
+  EXPECT_EQ(ts.server->stats().requests, 5u);
+  EXPECT_EQ(ts.server->stats().connections_accepted, 1u);
+}
+
+TEST(HttpServerTest, PipelinedRequestsAllGetResponses) {
+  TestServer ts;
+  const int fd = ConnectLoopback(ts.port());
+  // Two complete requests in one write: the second is served from the
+  // carried-over buffer without waiting on the socket.
+  const std::string one =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  const std::string two = one + one;
+  ASSERT_EQ(::send(fd, two.data(), two.size(), 0),
+            static_cast<ssize_t>(two.size()));
+  std::string carry;
+  EXPECT_TRUE(ReadFramedResponse(fd, &carry).complete);
+  EXPECT_TRUE(ReadFramedResponse(fd, &carry).complete);
+  ::close(fd);
+  EXPECT_EQ(ts.server->stats().keepalive_reuses, 1u);
+}
+
+TEST(HttpServerTest, ConnectionCloseHeaderIsHonored) {
+  TestServer ts;
+  const int fd = ConnectLoopback(ts.port());
+  SendOnSocket(fd, "GET", "/healthz", "", "Connection: close\r\n");
+  const FramedResult result = ReadFramedResponse(fd);
+  ASSERT_TRUE(result.complete);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+  // EOF follows: the server closed its side.
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  EXPECT_EQ(ts.server->stats().keepalive_reuses, 0u);
+}
+
+TEST(HttpServerTest, Http10DefaultsToClose) {
+  TestServer ts;
+  const int fd = ConnectLoopback(ts.port());
+  const std::string request =
+      "GET /healthz HTTP/1.0\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  const FramedResult result = ReadFramedResponse(fd);
+  ASSERT_TRUE(result.complete);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+}
+
+TEST(HttpServerTest, RequestCapClosesTheConnection) {
+  HttpServerOptions http_options;
+  http_options.max_requests_per_connection = 3;
+  TestServer ts({}, 4, http_options);
+
+  const int fd = ConnectLoopback(ts.port());
+  for (int i = 0; i < 3; ++i) {
+    SendOnSocket(fd, "GET", "/healthz", "");
+    const FramedResult result = ReadFramedResponse(fd);
+    ASSERT_TRUE(result.complete);
+    // The final allowed request carries the close advisory.
+    const char* expected =
+        i == 2 ? "Connection: close" : "Connection: keep-alive";
+    EXPECT_NE(result.headers.find(expected), std::string::npos) << i;
+  }
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // over the cap: connection gone
+  ::close(fd);
+  EXPECT_EQ(ts.server->stats().keepalive_reuses, 2u);
+}
+
+TEST(HttpServerTest, IdleKeepAliveConnectionTimesOutSilently) {
+  HttpServerOptions http_options;
+  http_options.idle_timeout_ms = 50;
+  TestServer ts({}, 4, http_options);
+
+  const int fd = ConnectLoopback(ts.port());
+  SendOnSocket(fd, "GET", "/healthz", "");
+  ASSERT_TRUE(ReadFramedResponse(fd).complete);
+  // Sit idle past the timeout: the server closes without writing anything
+  // (no 408 — no request was in flight).
+  char byte;
+  const ssize_t n = ::recv(fd, &byte, 1, 0);
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_EQ(ts.server->stats().parse_failures, 0u);
+}
+
+TEST(HttpServerTest, KeepAliveDisabledRestoresSingleRequestConnections) {
+  HttpServerOptions http_options;
+  http_options.keep_alive = false;
+  TestServer ts({}, 4, http_options);
+
+  const int fd = ConnectLoopback(ts.port());
+  SendOnSocket(fd, "GET", "/healthz", "");
+  const FramedResult result = ReadFramedResponse(fd);
+  ASSERT_TRUE(result.complete);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
 }
 
 // The writer/parser pair the wire format rests on: round-trip sanity.
