@@ -37,7 +37,9 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <cctype>
 #include <mutex>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -142,12 +144,17 @@ int Usage() {
       "            [--pin-numa[=off]] [--http-port PORT] [--http-threads N]\n"
       "            [--max-pending-edges N] [--max-staleness-ms MS]\n"
       "            [--dirty-fraction-limit F] [--live-track tip-U:150,wing:8]\n"
+      "            [--data-dir DIR] [--fsync always|batch|off]\n"
+      "            [--journal-segment-mb MB] [--snapshot-on-seal[=off]]\n"
       "            (--http-port serves HTTP/JSON until SIGINT/SIGTERM;\n"
-      "             graphs may also be registered later via POST /v1/graphs)\n"
+      "             graphs may also be registered later via POST /v1/graphs;\n"
+      "             --data-dir journals every change and recovers on start)\n"
       "  update    --graph NAME --batch FILE|-  [--host H] [--port P]\n"
       "            [--seal] [--threads T] [--track tip-U:150,wing:8]\n"
+      "            [--retries N] [--retry-base-ms MS]\n"
       "            (batch lines: '+ u v' inserts, '- u v' deletes; posts to\n"
-      "             a running serve --http-port instance)\n");
+      "             a running serve --http-port instance; retries 429/503\n"
+      "             and transport failures with jittered backoff)\n");
   return 1;
 }
 
@@ -414,12 +421,22 @@ bool ReadUpdateBatch(std::istream& in, std::vector<service::EdgeUpdate>* out) {
   return true;
 }
 
+std::string ToLowerCopy(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
 /// Minimal blocking HTTP/1.1 POST over a fresh IPv4 socket (the CLI's only
 /// client-side HTTP need — one request, Connection: close). Returns the
-/// HTTP status, or 0 with *error set on transport failure.
+/// HTTP status, or 0 with *error set on transport failure. When the server
+/// sent a Retry-After header, `*retry_after_s` gets its value in seconds.
 int HttpPostJson(const std::string& host, uint16_t port,
                  const std::string& path, const std::string& body,
-                 std::string* response_body, std::string* error) {
+                 std::string* response_body, int* retry_after_s,
+                 std::string* error) {
+  *retry_after_s = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     *error = "socket() failed";
@@ -447,9 +464,12 @@ int HttpPostJson(const std::string& host, uint16_t port,
   request += body;
   size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    // MSG_NOSIGNAL: a server that died mid-request must surface as EPIPE,
+    // not kill the CLI with SIGPIPE.
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
       *error = "send() failed mid-request";
       ::close(fd);
       return 0;
@@ -461,6 +481,7 @@ int HttpPostJson(const std::string& host, uint16_t port,
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
       *error = "recv() failed reading the response";
       ::close(fd);
       return 0;
@@ -475,8 +496,57 @@ int HttpPostJson(const std::string& host, uint16_t port,
     *error = "malformed HTTP response";
     return 0;
   }
+  // Scan header lines for Retry-After (the server's backoff hint on
+  // 429/503); header names are case-insensitive.
+  size_t cursor = reply.find("\r\n") + 2;
+  while (cursor < header_end) {
+    const size_t eol = reply.find("\r\n", cursor);
+    std::string line = reply.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLowerCopy(line.substr(0, colon));
+    if (name != "retry-after") continue;
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    *retry_after_s = std::atoi(line.c_str() + value_start);
+  }
   *response_body = reply.substr(header_end + 4);
   return std::atoi(reply.c_str() + 9);
+}
+
+/// Posts with a retry budget: transport failures and 429/503 responses are
+/// retried with jittered exponential backoff (base * 2^attempt, uniformly
+/// jittered into [half, full]), and a server-sent Retry-After floor is
+/// honored. Any other status returns immediately.
+int HttpPostJsonWithRetry(const std::string& host, uint16_t port,
+                          const std::string& path, const std::string& body,
+                          int retries, int retry_base_ms,
+                          std::string* response_body, std::string* error) {
+  std::mt19937 rng(std::random_device{}());
+  int status = 0;
+  for (int attempt = 0; ; ++attempt) {
+    int retry_after_s = 0;
+    error->clear();
+    status = HttpPostJson(host, port, path, body, response_body,
+                          &retry_after_s, error);
+    const bool retryable = status == 0 || status == 429 || status == 503;
+    if (!retryable || attempt >= retries) return status;
+    const double full_ms = static_cast<double>(retry_base_ms) *
+                           static_cast<double>(1u << std::min(attempt, 20));
+    std::uniform_real_distribution<double> jitter(full_ms / 2.0, full_ms);
+    int64_t sleep_ms = static_cast<int64_t>(jitter(rng));
+    sleep_ms = std::max<int64_t>(sleep_ms, int64_t{retry_after_s} * 1000);
+    std::fprintf(stderr,
+                 "attempt %d/%d: %s; retrying in %lld ms\n", attempt + 1,
+                 retries + 1,
+                 status == 0 ? error->c_str()
+                             : ("HTTP " + std::to_string(status)).c_str(),
+                 static_cast<long long>(sleep_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
 }
 
 // update: post an edge batch to a running server's live-update endpoint.
@@ -537,11 +607,21 @@ int CmdUpdate(const Args& args) {
     std::fprintf(stderr, "--port must be in [1, 65535]\n");
     return 1;
   }
+  const int64_t retries = args.GetInt("retries", 3);
+  const int64_t retry_base_ms = args.GetInt("retry-base-ms", 100);
+  if (retries < 0 || retries > 100 || retry_base_ms < 1 ||
+      retry_base_ms > 60000) {
+    std::fprintf(stderr,
+                 "--retries must be in [0, 100] and --retry-base-ms in "
+                 "[1, 60000]\n");
+    return 1;
+  }
   std::string response_body;
   std::string error;
-  const int status = HttpPostJson(host, static_cast<uint16_t>(port),
-                                  "/v1/graphs/" + graph + "/edges",
-                                  writer.Take(), &response_body, &error);
+  const int status = HttpPostJsonWithRetry(
+      host, static_cast<uint16_t>(port), "/v1/graphs/" + graph + "/edges",
+      writer.Take(), static_cast<int>(retries),
+      static_cast<int>(retry_base_ms), &response_body, &error);
   if (status == 0) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 2;
@@ -584,8 +664,8 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
   }
   std::printf("listening on http://%s:%u (POST /v1/decompose, "
               "GET|POST /v1/graphs, POST /v1/graphs/{name}/edges, "
-              "GET /healthz, GET /statz, GET /metrics, "
-              "GET /v1/traces[/{id}])\n",
+              "POST /v1/admin/snapshot, GET /healthz, GET /statz, "
+              "GET /metrics, GET /v1/traces[/{id}])\n",
               http_options.bind_address.c_str(), http_server.port());
   std::fflush(stdout);
 
@@ -640,6 +720,21 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
       sched.num_nodes, sched.pinned ? "yes" : "no",
       static_cast<unsigned long long>(sched.local_pops),
       static_cast<unsigned long long>(sched.remote_steals));
+  if (service.durable()) {
+    const durability::DurabilityStats durable = service.durability()->stats();
+    std::printf(
+        "durability: appends=%llu bytes=%llu fsyncs=%llu rotations=%llu "
+        "snapshots=%llu append_failures=%llu snapshot_failures=%llu "
+        "broken=%s\n",
+        static_cast<unsigned long long>(durable.journal.appends),
+        static_cast<unsigned long long>(durable.journal.bytes_written),
+        static_cast<unsigned long long>(durable.journal.fsyncs),
+        static_cast<unsigned long long>(durable.journal.rotations),
+        static_cast<unsigned long long>(durable.snapshots_written),
+        static_cast<unsigned long long>(durable.journal.append_failures),
+        static_cast<unsigned long long>(durable.snapshot_failures),
+        durable.journal.broken ? "yes" : "no");
+  }
   std::printf("workspace growths (all worker pools): %llu\n",
               static_cast<unsigned long long>(service.WorkspaceGrowths()));
   // Final metrics snapshot: the same quantiles /statz serves, printed so a
@@ -679,6 +774,7 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
 // directly comparable between service mode and one-shot runs.
 int CmdServe(const Args& args) {
   service::GraphRegistry registry;
+  std::vector<std::pair<std::string, std::string>> graph_files;
   for (const std::string& spec : SplitCommaList(args.Get("graphs"))) {
     const size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
@@ -686,16 +782,11 @@ int CmdServe(const Args& args) {
                    spec.c_str());
       return 1;
     }
-    const std::string name = spec.substr(0, eq);
-    const std::string path = spec.substr(eq + 1);
-    std::string error;
-    if (!registry.LoadFile(name, path, &error)) {
-      std::fprintf(stderr, "failed to register '%s': %s\n", name.c_str(),
-                   error.c_str());
-      return 2;
-    }
+    graph_files.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
   }
-  for (const std::string& name : SplitCommaList(args.Get("datasets"))) {
+  const std::vector<std::string> datasets =
+      SplitCommaList(args.Get("datasets"));
+  for (const std::string& name : datasets) {
     bool known = false;
     for (const std::string& candidate : PaperAnalogueNames()) {
       known = known || candidate == name;
@@ -704,19 +795,6 @@ int CmdServe(const Args& args) {
       std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
       return 1;
     }
-    registry.Register(name, MakePaperAnalogue(name));
-  }
-  const std::vector<std::string> names = registry.Names();
-  if (names.empty() && !args.Has("http-port")) {
-    std::fprintf(stderr, "need --graphs NAME=FILE,... or --datasets A,B\n");
-    return 1;
-  }
-  for (const std::string& name : names) {
-    const service::GraphHandle handle = registry.Acquire(name);
-    std::printf("registered %s: |U|=%u |V|=%u |E|=%llu (epoch %llu)\n",
-                name.c_str(), handle.graph().num_u(), handle.graph().num_v(),
-                static_cast<unsigned long long>(handle.graph().num_edges()),
-                static_cast<unsigned long long>(handle.epoch()));
   }
 
   service::ServiceOptions service_options;
@@ -762,7 +840,93 @@ int CmdServe(const Args& args) {
   service_options.live_dirty_fraction_limit = dirty_limit;
   std::vector<service::LiveConfig> live_track;
   if (!ParseTrackSpecs(args.Get("live-track"), &live_track)) return 1;
+
+  // Durability: with --data-dir the service journals every state change and
+  // replays snapshot + journal on startup before serving anything.
+  service_options.data_dir = args.Get("data-dir");
+  if (!service_options.data_dir.empty()) {
+    const std::string fsync = args.Get("fsync", "always");
+    if (!durability::FsyncPolicyFromName(fsync,
+                                         &service_options.durability_fsync)) {
+      std::fprintf(stderr, "--fsync takes always, batch or off, got '%s'\n",
+                   fsync.c_str());
+      return 1;
+    }
+    const int64_t segment_mb = args.GetInt("journal-segment-mb", 64);
+    if (segment_mb < 1 || segment_mb > 4096) {
+      std::fprintf(stderr, "--journal-segment-mb must be in [1, 4096]\n");
+      return 1;
+    }
+    service_options.journal_segment_bytes =
+        static_cast<uint64_t>(segment_mb) << 20;
+    if (!ParseOnOff(args, "snapshot-on-seal",
+                    service_options.snapshot_on_seal,
+                    &service_options.snapshot_on_seal)) {
+      return 1;
+    }
+  } else if (args.Has("fsync") || args.Has("journal-segment-mb") ||
+             args.Has("snapshot-on-seal")) {
+    std::fprintf(stderr, "--fsync/--journal-segment-mb/--snapshot-on-seal "
+                         "need --data-dir\n");
+    return 1;
+  }
+
   service::DecompositionService service(registry, service_options);
+  if (!service.durability_error().empty()) {
+    // Refusing to serve beats silently serving non-durable (or guessed)
+    // state out of a directory the operator asked us to recover from.
+    std::fprintf(stderr, "durability startup failed: %s\n",
+                 service.durability_error().c_str());
+    return 2;
+  }
+  if (service.durable()) {
+    const durability::RecoveryReport& recovery = service.recovery_report();
+    std::printf(
+        "durability: data-dir=%s fsync=%s %s (snapshots=%llu records=%llu "
+        "batches=%llu seals=%llu graphs=%llu torn_tail=%s in %.3fs)\n",
+        service_options.data_dir.c_str(),
+        durability::FsyncPolicyName(service_options.durability_fsync),
+        recovery.fresh_start ? "fresh start" : "recovered",
+        static_cast<unsigned long long>(recovery.snapshots_loaded),
+        static_cast<unsigned long long>(recovery.records_scanned),
+        static_cast<unsigned long long>(recovery.batches_replayed),
+        static_cast<unsigned long long>(recovery.seals_replayed),
+        static_cast<unsigned long long>(recovery.graphs_recovered),
+        recovery.torn_tail ? "yes" : "no", recovery.seconds);
+  }
+
+  // Register requested graphs through the service so each registration is
+  // journaled (a plain registry insert would vanish on restart).
+  for (const auto& [name, path] : graph_files) {
+    std::string error;
+    if (service.RegisterGraphFile(name, path, nullptr, &error) !=
+        service::Status::kOk) {
+      std::fprintf(stderr, "failed to register '%s': %s\n", name.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+  for (const std::string& name : datasets) {
+    std::string error;
+    if (service.RegisterGraph(name, MakePaperAnalogue(name), nullptr,
+                              &error) != service::Status::kOk) {
+      std::fprintf(stderr, "failed to register '%s': %s\n", name.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+  const std::vector<std::string> names = registry.Names();
+  if (names.empty() && !args.Has("http-port")) {
+    std::fprintf(stderr, "need --graphs NAME=FILE,... or --datasets A,B\n");
+    return 1;
+  }
+  for (const std::string& name : names) {
+    const service::GraphHandle handle = registry.Acquire(name);
+    std::printf("registered %s: |U|=%u |V|=%u |E|=%llu (epoch %llu)\n",
+                name.c_str(), handle.graph().num_u(), handle.graph().num_v(),
+                static_cast<unsigned long long>(handle.graph().num_edges()),
+                static_cast<unsigned long long>(handle.epoch()));
+  }
 
   // Pre-track requested live configurations on every registered graph, so
   // the very first sealed batch already runs incrementally.

@@ -1,0 +1,185 @@
+#include "durability/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "durability/wire.h"
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace receipt::durability {
+
+namespace {
+
+// "RCPTSNP1" little-endian.
+constexpr uint64_t kSnapshotMagic = 0x31504E5354504352ull;
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint64_t kSnapshotHeaderBytes = 8 + 4 + 8 + 4;
+constexpr uint64_t kMaxSnapshotPayload = 8ull << 30;
+
+void PutCounts(ByteWriter* w, const std::vector<Count>& counts) {
+  w->U64(counts.size());
+  for (Count c : counts) w->U64(c);
+}
+
+bool GetCounts(ByteReader* r, std::vector<Count>* counts) {
+  uint64_t n = r->U64();
+  if (!r->ok || n * 8 > r->size - r->pos) return false;
+  counts->resize(n);
+  for (auto& c : *counts) c = r->U64();
+  return r->ok;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotData& data) {
+  ByteWriter w;
+  w.Str(data.graph);
+  w.U64(data.epoch);
+  w.U64(data.covered_segment);
+  w.U64(data.covered_offset);
+  w.U32(data.num_u);
+  w.U32(data.num_v);
+  w.U64(data.edges.size());
+  for (const auto& e : data.edges) {
+    w.U32(e.u);
+    w.U32(e.v);
+  }
+  w.U64(data.pending.size());
+  for (const auto& op : data.pending) {
+    w.U8(op.insert ? 1 : 0);
+    w.U32(op.u);
+    w.U32(op.v);
+  }
+  w.U32(static_cast<uint32_t>(data.configs.size()));
+  for (const auto& config : data.configs) {
+    w.U8(config.kind);
+    w.U32(config.partitions);
+    PutCounts(&w, config.numbers);
+    PutCounts(&w, config.bounds);
+    PutCounts(&w, config.old_support);
+  }
+
+  ByteWriter out;
+  out.U64(kSnapshotMagic);
+  out.U32(kSnapshotVersion);
+  out.U64(w.out.size());
+  out.U32(util::Crc32(w.out.data(), w.out.size()));
+  out.out.append(w.out);
+  return std::move(out.out);
+}
+
+bool DecodeSnapshot(const std::string& bytes, SnapshotData* data,
+                    std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (bytes.size() < kSnapshotHeaderBytes) return fail("snapshot truncated");
+  ByteReader header(bytes.data(), kSnapshotHeaderBytes);
+  if (header.U64() != kSnapshotMagic) return fail("bad snapshot magic");
+  uint32_t version = header.U32();
+  if (version != kSnapshotVersion) {
+    return fail("snapshot version mismatch: got " + std::to_string(version) +
+                ", want " + std::to_string(kSnapshotVersion));
+  }
+  uint64_t payload_len = header.U64();
+  uint32_t crc = header.U32();
+  if (payload_len > kMaxSnapshotPayload ||
+      bytes.size() - kSnapshotHeaderBytes != payload_len) {
+    return fail("snapshot payload length mismatch");
+  }
+  const char* payload = bytes.data() + kSnapshotHeaderBytes;
+  if (util::Crc32(payload, payload_len) != crc) {
+    return fail("snapshot checksum mismatch");
+  }
+
+  ByteReader r(payload, payload_len);
+  data->graph = r.Str();
+  data->epoch = r.U64();
+  data->covered_segment = r.U64();
+  data->covered_offset = r.U64();
+  data->num_u = r.U32();
+  data->num_v = r.U32();
+  uint64_t num_edges = r.U64();
+  if (!r.ok || num_edges * 8 > payload_len) {
+    return fail("undecodable snapshot payload");
+  }
+  data->edges.resize(num_edges);
+  for (auto& e : data->edges) {
+    e.u = r.U32();
+    e.v = r.U32();
+  }
+  uint64_t num_pending = r.U64();
+  if (!r.ok || num_pending * 9 > payload_len) {
+    return fail("undecodable snapshot payload");
+  }
+  data->pending.resize(num_pending);
+  for (auto& op : data->pending) {
+    op.insert = r.U8() != 0;
+    op.u = r.U32();
+    op.v = r.U32();
+  }
+  uint32_t num_configs = r.U32();
+  if (!r.ok || num_configs > (1u << 20)) {
+    return fail("undecodable snapshot payload");
+  }
+  data->configs.resize(num_configs);
+  for (auto& config : data->configs) {
+    config.kind = r.U8();
+    config.partitions = r.U32();
+    if (!GetCounts(&r, &config.numbers) || !GetCounts(&r, &config.bounds) ||
+        !GetCounts(&r, &config.old_support)) {
+      return fail("undecodable snapshot payload");
+    }
+  }
+  if (!r.AtEnd()) return fail("undecodable snapshot payload");
+  return true;
+}
+
+std::string SanitizeSnapshotName(const std::string& graph) {
+  std::string out;
+  out.reserve(graph.size());
+  for (unsigned char c : graph) {
+    bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    // '%' itself must be escaped to keep the encoding injective.
+    if (safe && c != '%') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out.append(buf);
+    }
+  }
+  if (out.empty()) out = "%00empty";
+  return out;
+}
+
+std::string SnapshotPath(const std::string& dir, const std::string& graph) {
+  return dir + "/" + SanitizeSnapshotName(graph) + ".snap";
+}
+
+bool WriteSnapshotFile(const std::string& dir, const SnapshotData& data,
+                       std::string* error) {
+  std::string bytes = EncodeSnapshot(data);
+  std::string final_path = SnapshotPath(dir, data.graph);
+  std::string tmp_path = final_path + ".tmp";
+  {
+    util::io::File file = util::io::File::Create(tmp_path, error);
+    if (!file.valid()) return false;
+    if (!file.WriteFully(bytes.data(), bytes.size(), error) ||
+        !file.Sync(error)) {
+      util::io::RemoveFile(tmp_path, nullptr);
+      return false;
+    }
+  }
+  util::io::CrashPoint("snapshot.rename");
+  if (!util::io::AtomicRename(tmp_path, final_path, error)) {
+    util::io::RemoveFile(tmp_path, nullptr);
+    return false;
+  }
+  return util::io::SyncDir(dir, error);
+}
+
+}  // namespace receipt::durability

@@ -30,6 +30,12 @@ HttpResponse JsonError(int status, const std::string& message) {
   HttpResponse response;
   response.status = status;
   response.body = writer.Take();
+  // Shed load honestly: every overload/unavailable rejection tells clients
+  // when a retry is worth attempting, so well-behaved clients back off
+  // instead of retry-storming.
+  if (status == 429 || status == 503) {
+    response.extra_headers.emplace_back("Retry-After", "1");
+  }
   return response;
 }
 
@@ -125,6 +131,9 @@ DecompositionHttpFrontend::DecompositionHttpFrontend(
   server.HandlePrefix("POST", "/v1/graphs/", [this](const HttpRequest& r) {
     return HandleGraphEdges(r);
   });
+  server.Handle("POST", "/v1/admin/snapshot", [this](const HttpRequest& r) {
+    return HandleAdminSnapshot(r);
+  });
   server.Handle("GET", "/healthz",
                 [this](const HttpRequest& r) { return HandleHealthz(r); });
   server.Handle("GET", "/statz",
@@ -192,9 +201,7 @@ HttpResponse DecompositionHttpFrontend::HandleDecompose(
   auto ticket = service_->TrySubmitTicket(request);
   if (!ticket) {
     rejected_busy_.fetch_add(1, std::memory_order_relaxed);
-    HttpResponse busy = JsonError(429, "request queue is full");
-    busy.extra_headers.emplace_back("Retry-After", "1");
-    return finish(std::move(busy));
+    return finish(JsonError(429, "request queue is full"));
   }
 
   // Wait for the engine, watching the socket: a client that hangs up stops
@@ -327,28 +334,24 @@ HttpResponse DecompositionHttpFrontend::HandleRegisterGraph(
     return JsonError(400, "provide exactly one of 'path' or 'dataset'");
   }
 
-  // A re-registration makes the old epoch unreachable; note it so its cache
-  // entries can be dropped instead of aging out through the LRU.
-  uint64_t old_epoch = 0;
-  bool replacing = false;
-  if (const service::GraphHandle old = registry_->Acquire(name)) {
-    old_epoch = old.epoch();
-    replacing = true;
-  }
-
+  // Registration goes through the service so it is journaled before it is
+  // acknowledged (and the superseded epoch's cache entries are dropped):
+  // a 200 here means a crashed-and-recovered server still has the graph.
+  Status status;
   if (has_path) {
-    if (!registry_->LoadFile(name, path, &error)) {
-      return JsonError(400, error);
-    }
+    status = service_->RegisterGraphFile(name, path, nullptr, &error);
   } else {
     const std::vector<std::string>& names = PaperAnalogueNames();
     if (std::find(names.begin(), names.end(), dataset) == names.end()) {
       return JsonError(400, "unknown dataset '" + dataset + "'");
     }
-    registry_->Register(name, MakePaperAnalogue(dataset));
+    status = service_->RegisterGraph(name, MakePaperAnalogue(dataset),
+                                     nullptr, &error);
+  }
+  if (status != Status::kOk) {
+    return JsonError(HttpStatusFor(status), error);
   }
   graphs_registered_.fetch_add(1, std::memory_order_relaxed);
-  if (replacing) service_->DropCachedEpoch(old_epoch);
 
   const service::GraphHandle handle = registry_->Acquire(name);
   if (!handle) {
@@ -513,6 +516,48 @@ HttpResponse DecompositionHttpFrontend::HandleGraphEdges(
   return finish(std::move(response));
 }
 
+HttpResponse DecompositionHttpFrontend::HandleAdminSnapshot(
+    const HttpRequest& http_request) {
+  CountHttpRequest("/v1/admin/snapshot");
+  if (!service_->durable()) {
+    return JsonError(
+        400, "durability is not enabled; start the server with --data-dir");
+  }
+
+  // Optional body {"graph": "<name>"} snapshots one graph; an empty body
+  // (or {}) snapshots every registered graph.
+  std::vector<std::string> names;
+  if (!http_request.body.empty()) {
+    std::string error;
+    const auto json = util::JsonValue::Parse(http_request.body, &error);
+    if (!json) return JsonError(400, "malformed JSON: " + error);
+    if (!json->IsObject()) {
+      return JsonError(400, "request body must be a JSON object");
+    }
+    std::string graph;
+    if (json->GetString("graph", &graph)) names.push_back(graph);
+  }
+  if (names.empty()) names = registry_->Names();
+
+  util::JsonWriter writer;
+  writer.BeginObject().Key("status").String("ok").Key("snapshots")
+      .BeginArray();
+  for (const std::string& name : names) {
+    std::string error;
+    const Status status = service_->SnapshotGraph(name, &error);
+    if (status != Status::kOk) {
+      return JsonError(HttpStatusFor(status),
+                       "snapshot of '" + name + "' failed: " + error);
+    }
+    snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+    writer.String(name);
+  }
+  writer.EndArray().EndObject();
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
 HttpResponse DecompositionHttpFrontend::HandleHealthz(const HttpRequest&) {
   CountHttpRequest("/healthz");
   util::JsonWriter writer;
@@ -608,6 +653,8 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Uint(graphs_registered_.load(std::memory_order_relaxed))
       .Key("edge_batches")
       .Uint(edge_batches_.load(std::memory_order_relaxed))
+      .Key("snapshots_taken")
+      .Uint(snapshots_taken_.load(std::memory_order_relaxed))
       .EndObject();
   const service::LiveGraphManager::Stats live = service_->live().stats();
   writer.Key("live")
@@ -621,6 +668,42 @@ HttpResponse DecompositionHttpFrontend::HandleStatz(const HttpRequest&) {
       .Key("ranges_reused").Uint(live.ranges_reused)
       .Key("ranges_repeeled").Uint(live.ranges_repeeled)
       .EndObject();
+  writer.Key("durability").BeginObject();
+  writer.Key("enabled").Bool(service_->durable());
+  if (service_->durable()) {
+    const durability::DurabilityStats d = service_->durability()->stats();
+    const durability::RecoveryReport& recovery = service_->recovery_report();
+    writer.Key("fsync").String(durability::FsyncPolicyName(d.fsync))
+        .Key("snapshot_on_seal").Bool(d.snapshot_on_seal)
+        .Key("journal")
+        .BeginObject()
+        .Key("appends").Uint(d.journal.appends)
+        .Key("append_failures").Uint(d.journal.append_failures)
+        .Key("bytes_written").Uint(d.journal.bytes_written)
+        .Key("fsyncs").Uint(d.journal.fsyncs)
+        .Key("rotations").Uint(d.journal.rotations)
+        .Key("segments_dropped").Uint(d.journal.segments_dropped)
+        .Key("current_segment").Uint(d.journal.current_segment)
+        .Key("broken").Bool(d.journal.broken)
+        .EndObject()
+        .Key("snapshots")
+        .BeginObject()
+        .Key("written").Uint(d.snapshots_written)
+        .Key("failures").Uint(d.snapshot_failures)
+        .EndObject()
+        .Key("recovery")
+        .BeginObject()
+        .Key("fresh_start").Bool(recovery.fresh_start)
+        .Key("snapshots_loaded").Uint(recovery.snapshots_loaded)
+        .Key("graphs_recovered").Uint(recovery.graphs_recovered)
+        .Key("records_scanned").Uint(recovery.records_scanned)
+        .Key("batches_replayed").Uint(recovery.batches_replayed)
+        .Key("seals_replayed").Uint(recovery.seals_replayed)
+        .Key("torn_tail").Bool(recovery.torn_tail)
+        .Key("seconds").Double(recovery.seconds)
+        .EndObject();
+  }
+  writer.EndObject();
   // Growth counters are relaxed atomics, so sampling them mid-request is
   // safe; a steady-state workload shows this flat (hot path allocation-free).
   writer.Key("workspace_growths").Uint(service_->WorkspaceGrowths());
@@ -645,6 +728,7 @@ DecompositionHttpFrontend::Stats DecompositionHttpFrontend::stats() const {
       disconnect_cancels_.load(std::memory_order_relaxed);
   stats.graphs_registered = graphs_registered_.load(std::memory_order_relaxed);
   stats.edge_batches = edge_batches_.load(std::memory_order_relaxed);
+  stats.snapshots_taken = snapshots_taken_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -53,6 +53,7 @@ class DecompositionHttpFrontend {
     uint64_t disconnect_cancels = 0;  ///< tickets abandoned on disconnect
     uint64_t graphs_registered = 0;
     uint64_t edge_batches = 0;  ///< /v1/graphs/{name}/edges batches accepted
+    uint64_t snapshots_taken = 0;  ///< /v1/admin/snapshot graph snapshots
   };
   Stats stats() const;
 
@@ -61,6 +62,7 @@ class DecompositionHttpFrontend {
   HttpResponse HandleListGraphs(const HttpRequest& request);
   HttpResponse HandleRegisterGraph(const HttpRequest& request);
   HttpResponse HandleGraphEdges(const HttpRequest& request);
+  HttpResponse HandleAdminSnapshot(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request);
   HttpResponse HandleStatz(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request);
@@ -82,6 +84,7 @@ class DecompositionHttpFrontend {
   std::atomic<uint64_t> disconnect_cancels_{0};
   std::atomic<uint64_t> graphs_registered_{0};
   std::atomic<uint64_t> edge_batches_{0};
+  std::atomic<uint64_t> snapshots_taken_{0};
 };
 
 }  // namespace receipt::server

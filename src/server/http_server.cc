@@ -12,6 +12,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -129,6 +130,11 @@ bool HttpServer::Start(std::string* error) {
     return false;
   };
 
+  // MSG_NOSIGNAL covers send(), but a peer reset can still raise SIGPIPE
+  // from other paths (and from embedders' sockets); a server must never die
+  // to a client hangup.
+  ::signal(SIGPIPE, SIG_IGN);
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return fail("socket");
   const int enable = 1;
@@ -217,6 +223,7 @@ void HttpServer::AcceptLoop() {
       // sees a well-formed 503 instead of a hung connection.
       HttpResponse overload;
       overload.status = 503;
+      overload.extra_headers.emplace_back("Retry-After", "1");
       overload.body =
           "{\"status\":\"unavailable\",\"error\":\"connection queue full\"}";
       WriteResponse(fd, overload, false);
@@ -266,7 +273,10 @@ void HttpServer::ServeConnection(int fd) {
       pollfd waiting{};
       waiting.fd = fd;
       waiting.events = POLLIN;
-      const int ready = ::poll(&waiting, 1, options_.idle_timeout_ms);
+      int ready;
+      do {
+        ready = ::poll(&waiting, 1, options_.idle_timeout_ms);
+      } while (ready < 0 && errno == EINTR);
       if (ready <= 0) return;  // idle timeout (or poll error): close
       if ((waiting.revents & POLLIN) == 0) return;  // hangup/error
     }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/topology.h"
+#include "graph/graph_io.h"
 #include "tip/bup.h"
 #include "tip/parb.h"
 #include "tip/receipt.h"
@@ -45,6 +46,21 @@ DecompositionService::DecompositionService(GraphRegistry& registry,
   live_options.dirty_fraction_limit = options_.live_dirty_fraction_limit;
   live_ = std::make_unique<LiveGraphManager>(*registry_, cache_, live_options,
                                              *obs_);
+
+  if (!options_.data_dir.empty()) {
+    durability::DurabilityOptions durability_options;
+    durability_options.data_dir = options_.data_dir;
+    durability_options.fsync = options_.durability_fsync;
+    durability_options.segment_bytes = options_.journal_segment_bytes;
+    durability_options.batch_bytes = options_.journal_batch_bytes;
+    durability_options.snapshot_on_seal = options_.snapshot_on_seal;
+    // Recovery runs before the worker pool exists, so replayed seals never
+    // race live traffic. Failure leaves the service up but in-memory only
+    // (durability_error_ set) — the embedder decides whether to abort.
+    durability_ = durability::OpenWithRecovery(
+        durability_options, *registry_, *live_, obs_, &recovery_report_,
+        &durability_error_);
+  }
 
   const int num_workers = std::max(0, options_.num_workers);
 
@@ -657,6 +673,71 @@ uint64_t DecompositionService::WorkspaceGrowths() const {
   uint64_t total = inline_pool_.TotalGrowths();
   for (const auto& worker : workers_) total += worker->pool.TotalGrowths();
   return total;
+}
+
+Status DecompositionService::RegisterGraph(const std::string& name,
+                                           BipartiteGraph graph,
+                                           uint64_t* epoch_out,
+                                           std::string* error) {
+  if (name.empty()) {
+    if (error != nullptr) *error = "graph name must not be empty";
+    return Status::kBadRequest;
+  }
+  const GraphHandle previous = registry_->Acquire(name);
+  const uint64_t epoch = registry_->AllocateEpoch();
+  if (durability_ != nullptr) {
+    // Journal before install: an acknowledged registration must already be
+    // replayable. Failure means nothing was installed — unacknowledged,
+    // consistently absent on both sides of a crash.
+    std::string log_error;
+    if (!durability_->LogRegister(name, epoch, graph.num_u(), graph.num_v(),
+                                  graph.ToEdges(), &log_error)) {
+      if (error != nullptr) *error = "durability: " + log_error;
+      return Status::kShutdown;
+    }
+  }
+  registry_->RegisterAtEpoch(name, std::move(graph), epoch);
+  // Results computed on the superseded registration are unreachable via
+  // the new epoch; free their cache bytes eagerly. Resident live state
+  // resyncs lazily on its next Track/ApplyEdges (same as before).
+  if (previous) cache_.DropEpoch(previous.epoch());
+  if (epoch_out != nullptr) *epoch_out = epoch;
+  return Status::kOk;
+}
+
+Status DecompositionService::RegisterGraphFile(const std::string& name,
+                                               const std::string& path,
+                                               uint64_t* epoch_out,
+                                               std::string* error) {
+  std::string load_error;
+  auto loaded = LoadGraphFile(path, &load_error);
+  if (!loaded.has_value()) {
+    if (error != nullptr) *error = path + ": " + load_error;
+    return Status::kBadRequest;
+  }
+  return RegisterGraph(name, std::move(*loaded), epoch_out, error);
+}
+
+Status DecompositionService::UnregisterGraph(const std::string& name,
+                                             std::string* error) {
+  const GraphHandle handle = registry_->Acquire(name);
+  if (!handle) {
+    if (error != nullptr) *error = "graph '" + name + "' is not registered";
+    return Status::kNotFound;
+  }
+  if (durability_ != nullptr) {
+    std::string log_error;
+    if (!durability_->LogUnregister(name, &log_error)) {
+      // Fail-stop: the graph stays registered rather than diverging from
+      // what a recovered process would see.
+      if (error != nullptr) *error = "durability: " + log_error;
+      return Status::kShutdown;
+    }
+  }
+  registry_->Evict(name);
+  live_->DropState(name);
+  cache_.DropEpoch(handle.epoch());
+  return Status::kOk;
 }
 
 }  // namespace receipt::service

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durability/manager.h"
+#include "durability/recovery.h"
 #include "engine/peel_control.h"
 #include "engine/workspace.h"
 #include "obs/observability.h"
@@ -81,6 +83,25 @@ struct ServiceOptions {
   /// … and the re-peeled-range fraction past which an incremental seal
   /// stops attempting reuse (bit-identical either way).
   double live_dirty_fraction_limit = 0.5;
+
+  /// Root directory for crash-safe durability: a write-ahead journal of
+  /// registrations and accepted edge batches plus per-graph snapshots.
+  /// Empty (the default) disables durability entirely — a pure in-memory
+  /// service, exactly the pre-durability behaviour. Non-empty runs
+  /// recovery at construction; check durability_error() afterwards.
+  std::string data_dir;
+
+  /// Journal fsync policy (see durability::FsyncPolicy): "always" fsyncs
+  /// per accepted batch, "batch" amortizes, "off" trusts the page cache.
+  durability::FsyncPolicy durability_fsync = durability::FsyncPolicy::kAlways;
+
+  /// Journal segment rotation threshold and kBatch fsync coalescing window.
+  uint64_t journal_segment_bytes = 64ull << 20;
+  uint64_t journal_batch_bytes = 256ull << 10;
+
+  /// Write a snapshot (and truncate covered journal segments) after every
+  /// live seal.
+  bool snapshot_on_seal = true;
 
   /// Metrics registry + trace flight recorder the service reports through.
   /// When null the service owns a private bundle, so instruments always
@@ -244,6 +265,44 @@ class DecompositionService {
 
   GraphRegistry& registry() { return *registry_; }
 
+  /// Durable registration: journals the graph (name, epoch, shape, full
+  /// edge list) *before* reporting success, so a crash after the ack
+  /// replays it. Without a data dir this is plain registry registration.
+  /// On a failed journal append the registration is rolled back and
+  /// kShutdown returned — never acknowledged-then-lost. `epoch_out`
+  /// (optional) receives the installed epoch.
+  Status RegisterGraph(const std::string& name, BipartiteGraph graph,
+                       uint64_t* epoch_out, std::string* error);
+
+  /// LoadFile + durable registration (the /v1/graphs path variant).
+  Status RegisterGraphFile(const std::string& name, const std::string& path,
+                           uint64_t* epoch_out, std::string* error);
+
+  /// Durable eviction: journals the unregistration, then evicts the
+  /// registry entry and drops resident live state. kNotFound when the name
+  /// is unknown, kShutdown when the journal refuses the record (the graph
+  /// stays registered — fail-stop beats divergence).
+  Status UnregisterGraph(const std::string& name, std::string* error);
+
+  /// On-demand snapshot of one graph (POST /v1/admin/snapshot).
+  Status SnapshotGraph(const std::string& name, std::string* error) {
+    return live_->SnapshotNow(name, error);
+  }
+
+  /// True when this service runs with a data dir and recovery succeeded.
+  bool durable() const { return durability_ != nullptr; }
+  /// Null when not durable.
+  durability::DurabilityManager* durability() { return durability_.get(); }
+  /// What startup recovery found (meaningful only with a data dir).
+  const durability::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  /// Non-empty when a data dir was configured but recovery refused to
+  /// bring the service up durably (corrupt journal/snapshot, IO failure).
+  /// The service still constructs — in-memory only — so the embedder
+  /// decides whether that is fatal; the CLI treats it as fatal.
+  const std::string& durability_error() const { return durability_error_; }
+
   /// The live-update half of the serving layer: edge-update buffering,
   /// seal policy, and incremental re-decomposition of tracked
   /// configurations. Shares this service's registry, result cache, and
@@ -331,6 +390,10 @@ class DecompositionService {
   ResultCache cache_;
   /// Constructed in the ctor body once obs_ is resolved; never null after.
   std::unique_ptr<LiveGraphManager> live_;
+  /// Non-null iff options.data_dir was set and recovery succeeded.
+  std::unique_ptr<durability::DurabilityManager> durability_;
+  durability::RecoveryReport recovery_report_;
+  std::string durability_error_;
 
   /// Owned fallback bundle (allocated iff options.observability == null);
   /// obs_ always points at the live bundle.

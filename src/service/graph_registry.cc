@@ -18,6 +18,22 @@ uint64_t GraphRegistry::Register(const std::string& name,
   return epoch;
 }
 
+uint64_t GraphRegistry::AllocateEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_epoch_++;
+}
+
+void GraphRegistry::RegisterAtEpoch(const std::string& name,
+                                    BipartiteGraph graph, uint64_t epoch) {
+  auto entry = std::make_shared<RegisteredGraph>();
+  entry->name = name;
+  entry->epoch = epoch;
+  entry->graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  next_epoch_ = std::max(next_epoch_, epoch + 1);
+  graphs_[name] = std::move(entry);
+}
+
 bool GraphRegistry::LoadFile(const std::string& name, const std::string& path,
                              std::string* error) {
   std::string load_error;

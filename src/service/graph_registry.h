@@ -55,6 +55,19 @@ class GraphRegistry {
   /// acquired on a previous epoch stay valid.
   uint64_t Register(const std::string& name, BipartiteGraph graph);
 
+  /// Reserves and returns the next epoch without registering anything —
+  /// the durability layer journals a seal's target epoch *before* the
+  /// registration installs it.
+  uint64_t AllocateEpoch();
+
+  /// Installs `name` at an exact epoch: recovery replays pre-crash
+  /// registrations and seals with the epochs they were journaled under, so
+  /// a recovered chain is numbered identically to the never-crashed one.
+  /// The epoch counter advances past `epoch` so later registrations never
+  /// collide.
+  void RegisterAtEpoch(const std::string& name, BipartiteGraph graph,
+                       uint64_t epoch);
+
   /// Loads a file through graph_io — `.bin` snapshots via LoadBinary,
   /// anything else as KONECT text — and registers it under `name`. On
   /// failure returns false, leaves the registry untouched, and sets *error

@@ -52,6 +52,20 @@ uint64_t CountNonZero(std::span<const uint8_t> flags) {
   return count;
 }
 
+std::vector<durability::EdgeOp> ToEdgeOps(std::span<const EdgeUpdate> updates) {
+  std::vector<durability::EdgeOp> ops;
+  ops.reserve(updates.size());
+  for (const EdgeUpdate& update : updates) {
+    ops.push_back({update.insert, update.u, update.v});
+  }
+  return ops;
+}
+
+Algorithm AlgorithmFor(RequestKind kind) {
+  return kind == RequestKind::kWing ? Algorithm::kReceiptWing
+                                    : Algorithm::kReceipt;
+}
+
 }  // namespace
 
 LiveGraphManager::LiveGraphManager(GraphRegistry& registry, ResultCache& cache,
@@ -244,6 +258,21 @@ ApplyResult LiveGraphManager::ApplyEdges(const std::string& name,
     }
   }
 
+  // Write-ahead: the batch must be durable before it is buffered, because
+  // buffering is what makes it acknowledged. A failed append rejects the
+  // whole batch — the journal has already rolled its tail back, so the
+  // on-disk record set stays exactly the acknowledged set.
+  if (durability_ != nullptr && !updates.empty()) {
+    std::string log_error;
+    if (!durability_->LogEdgeBatch(name, state->handle.epoch(),
+                                   ToEdgeOps(updates), &log_error)) {
+      result.status = Status::kShutdown;
+      result.error = "durability: " + log_error;
+      result.pending = state->pending.size();
+      return result;
+    }
+  }
+
   if (!updates.empty()) {
     if (state->pending.empty()) {
       state->first_pending_ns = obs::TraceRecorder::NowNs();
@@ -278,7 +307,7 @@ ApplyResult LiveGraphManager::ApplyEdges(const std::string& name,
 }
 
 void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
-                                  ApplyResult* result) {
+                                  ApplyResult* result, uint64_t pinned_epoch) {
   const WallTimer timer;
   threads = threads > 0 ? threads : std::max(1, options_.seal_threads);
   const GraphHandle old_handle = state.handle;  // keeps the old graph alive
@@ -355,11 +384,23 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
   }
 
   // Install the new epoch. Requests admitted before this line served the
-  // old snapshot; everything after resolves to the sealed graph.
+  // old snapshot; everything after resolves to the sealed graph. The epoch
+  // transition is journaled *before* the install: a crash in between
+  // replays as the same seal pinned to the same epoch, so the recovered
+  // chain is numbered identically. A failed seal append leaves the journal
+  // fail-stop broken — the in-memory seal still completes, and the broken
+  // journal surfaces on the next batch as an unacknowledged 503.
   const uint64_t old_epoch = old_handle.epoch();
-  registry_->Register(state.name, std::move(new_graph));
+  uint64_t new_epoch = pinned_epoch;
+  if (new_epoch == 0) {
+    new_epoch = registry_->AllocateEpoch();
+    if (durability_ != nullptr) {
+      std::string log_error;
+      durability_->LogSeal(state.name, old_epoch, new_epoch, &log_error);
+    }
+  }
+  registry_->RegisterAtEpoch(state.name, std::move(new_graph), new_epoch);
   state.handle = registry_->Acquire(state.name);
-  const uint64_t new_epoch = state.handle.epoch();
   cache_->DropEpoch(old_epoch);
   for (auto& [key, payload] : primes) {
     CacheKey keyed = key;
@@ -401,6 +442,15 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
   ranges_repeeled_total_->Increment(repeeled);
   if (reused + repeeled > 0) {
     dirty_permille_->Set(repeeled * 1000 / (reused + repeeled));
+  }
+
+  // Snapshot-on-seal compacts the journal to (roughly) one snapshot per
+  // graph plus the records since. Replayed seals skip it: recovery writes
+  // nothing until the process is serving again.
+  if (pinned_epoch == 0 && durability_ != nullptr &&
+      durability_->snapshot_on_seal()) {
+    std::string snap_error;
+    WriteSnapshotLocked(state, &snap_error);
   }
 }
 
@@ -644,6 +694,216 @@ std::shared_ptr<Payload> LiveGraphManager::SealWing(
   payload->numbers = std::move(numbers);
   payload->stats = stats;
   return payload;
+}
+
+void LiveGraphManager::SetDurability(
+    durability::DurabilityManager* durability) {
+  durability_ = durability;
+}
+
+bool LiveGraphManager::WriteSnapshotLocked(LiveGraphState& state,
+                                           std::string* error) {
+  durability::SnapshotData data;
+  data.graph = state.name;
+  data.epoch = state.handle.epoch();
+  data.num_u = state.handle.graph().num_u();
+  data.num_v = state.handle.graph().num_v();
+  data.edges = state.edges;
+  data.pending = ToEdgeOps(state.pending);
+  for (const auto& [config, baseline] : state.tip) {
+    durability::SnapshotConfig out;
+    out.kind = static_cast<uint8_t>(config.kind);
+    out.partitions = config.partitions;
+    out.numbers = baseline.numbers;
+    out.bounds = baseline.sealed.bounds;
+    out.old_support = baseline.old_support;
+    data.configs.push_back(std::move(out));
+  }
+  for (const auto& [config, baseline] : state.wing) {
+    durability::SnapshotConfig out;
+    out.kind = static_cast<uint8_t>(config.kind);
+    out.partitions = config.partitions;
+    out.numbers = baseline.numbers;
+    out.bounds = baseline.sealed.bounds;
+    out.old_support = baseline.old_support;
+    data.configs.push_back(std::move(out));
+  }
+  return durability_->WriteSnapshot(&data, error);
+}
+
+Status LiveGraphManager::RestoreSnapshot(const durability::SnapshotData& data,
+                                         std::string* error) {
+  for (const Edge& e : data.edges) {
+    if (e.u >= data.num_u || e.v >= data.num_v) {
+      if (error != nullptr) {
+        *error = "snapshot for '" + data.graph + "' has out-of-shape edges";
+      }
+      return Status::kBadRequest;
+    }
+  }
+  registry_->RegisterAtEpoch(
+      data.graph,
+      BipartiteGraph::FromEdges(data.num_u, data.num_v,
+                                {data.edges.begin(), data.edges.end()}),
+      data.epoch);
+
+  auto state = std::make_unique<LiveGraphState>();
+  state->name = data.graph;
+  state->handle = registry_->Acquire(data.graph);
+  state->edges = data.edges;
+  std::sort(state->edges.begin(), state->edges.end());
+  state->pending.reserve(data.pending.size());
+  for (const auto& op : data.pending) {
+    state->pending.push_back({op.insert, op.u, op.v});
+  }
+  if (!state->pending.empty()) {
+    state->first_pending_ns = obs::TraceRecorder::NowNs();
+  }
+
+  for (const auto& config : data.configs) {
+    if (config.kind > static_cast<uint8_t>(RequestKind::kWing) ||
+        config.partitions == 0) {
+      if (error != nullptr) {
+        *error = "snapshot for '" + data.graph + "' has an invalid config";
+      }
+      return Status::kBadRequest;
+    }
+    LiveConfig live{static_cast<RequestKind>(config.kind), config.partitions};
+    // Restored baselines carry the sealed numbers/bounds/supports but not
+    // the patch log, so they cannot seed an incremental seal: valid stays
+    // false and the next seal recomputes fully — bit-identical either way.
+    if (live.kind == RequestKind::kWing) {
+      Baseline<EdgeOffset>& b = state->wing[live];
+      b.numbers = config.numbers;
+      b.sealed.bounds = config.bounds;
+      b.old_support = config.old_support;
+      b.valid = false;
+    } else {
+      Baseline<VertexId>& b = state->tip[live];
+      b.numbers = config.numbers;
+      b.sealed.bounds = config.bounds;
+      b.old_support = config.old_support;
+      b.valid = false;
+    }
+    // The sealed numbers are servable immediately: prime the cache under
+    // the restored epoch, exactly as the pre-crash seal did.
+    auto payload = std::make_shared<Payload>();
+    payload->numbers = config.numbers;
+    cache_->Put(CacheKey{data.epoch, live.kind, AlgorithmFor(live.kind),
+                         live.partitions},
+                std::move(payload));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = states_.find(data.graph);
+    if (it != states_.end()) {
+      stats_.pending_edges -= it->second->pending.size();
+    }
+    stats_.pending_edges += state->pending.size();
+    states_[data.graph] = std::move(state);
+    pending_gauge_->Set(stats_.pending_edges);
+  }
+  return Status::kOk;
+}
+
+Status LiveGraphManager::ReplayBatch(const std::string& name, uint64_t epoch,
+                                     std::span<const durability::EdgeOp>
+                                         updates,
+                                     std::string* error) {
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    if (error != nullptr) {
+      *error = "journaled batch for unregistered graph '" + name + "'";
+    }
+    return Status::kNotFound;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->handle.epoch() != epoch) {
+    if (error != nullptr) {
+      *error = "epoch chain broken: batch for '" + name + "' recorded at " +
+               std::to_string(epoch) + ", graph is at " +
+               std::to_string(state->handle.epoch());
+    }
+    return Status::kBadRequest;
+  }
+  const BipartiteGraph& graph = state->handle.graph();
+  for (const auto& op : updates) {
+    if (op.u >= graph.num_u() || op.v >= graph.num_v()) {
+      if (error != nullptr) {
+        *error = "journaled batch for '" + name + "' has out-of-shape edges";
+      }
+      return Status::kBadRequest;
+    }
+  }
+  if (state->pending.empty() && !updates.empty()) {
+    state->first_pending_ns = obs::TraceRecorder::NowNs();
+  }
+  for (const auto& op : updates) {
+    state->pending.push_back({op.insert, op.u, op.v});
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    ++stats_.batches_total;
+    stats_.updates_total += updates.size();
+    stats_.pending_edges += updates.size();
+    pending_gauge_->Set(stats_.pending_edges);
+  }
+  return Status::kOk;
+}
+
+Status LiveGraphManager::ReplaySeal(const std::string& name,
+                                    uint64_t old_epoch, uint64_t new_epoch,
+                                    int threads, std::string* error) {
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    if (error != nullptr) {
+      *error = "journaled seal for unregistered graph '" + name + "'";
+    }
+    return Status::kNotFound;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->handle.epoch() != old_epoch) {
+    if (error != nullptr) {
+      *error = "epoch chain broken: seal for '" + name + "' recorded as " +
+               std::to_string(old_epoch) + " -> " +
+               std::to_string(new_epoch) + ", graph is at " +
+               std::to_string(state->handle.epoch());
+    }
+    return Status::kBadRequest;
+  }
+  ApplyResult result;
+  SealLocked(*state, threads, &result, new_epoch);
+  {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    pending_gauge_->Set(stats_.pending_edges);
+  }
+  return Status::kOk;
+}
+
+bool LiveGraphManager::DropState(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(name);
+  if (it == states_.end()) return false;
+  stats_.pending_edges -= it->second->pending.size();
+  states_.erase(it);
+  pending_gauge_->Set(stats_.pending_edges);
+  return true;
+}
+
+Status LiveGraphManager::SnapshotNow(const std::string& name,
+                                     std::string* error) {
+  if (durability_ == nullptr) {
+    if (error != nullptr) *error = "durability is not enabled (no data dir)";
+    return Status::kBadRequest;
+  }
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    if (error != nullptr) *error = "graph '" + name + "' is not registered";
+    return Status::kNotFound;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return WriteSnapshotLocked(*state, error) ? Status::kOk : Status::kShutdown;
 }
 
 size_t LiveGraphManager::PendingEdges(const std::string& name) const {

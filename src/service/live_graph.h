@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "durability/manager.h"
 #include "engine/peel_engine.h"
 #include "engine/workspace.h"
 #include "graph/bipartite_graph.h"
@@ -132,6 +133,48 @@ class LiveGraphManager {
   /// Buffered updates for `name` (0 when untracked).
   size_t PendingEdges(const std::string& name) const;
 
+  // -- durability ---------------------------------------------------------
+
+  /// Attaches the durability layer. Once set, every accepted batch is
+  /// journaled *before* it is buffered (a failed append rejects the batch
+  /// with kShutdown — never acknowledged, never buffered), every seal
+  /// journals its old→new epoch transition before installing it, and —
+  /// when the policy says so — writes a snapshot after installing.
+  void SetDurability(durability::DurabilityManager* durability);
+
+  /// Recovery: installs a snapshot as the graph's live state — registers
+  /// the graph at its recorded epoch, re-buffers the persisted pending
+  /// updates, restores per-config baselines (marked non-incremental: the
+  /// next seal recomputes fully, bit-identical either way), and primes the
+  /// result cache with the sealed numbers.
+  Status RestoreSnapshot(const durability::SnapshotData& data,
+                         std::string* error);
+
+  /// Recovery: re-buffers a journaled batch without journaling it again
+  /// and without triggering policy seals. Fails when the batch's recorded
+  /// epoch does not match the graph's current epoch (broken chain).
+  Status ReplayBatch(const std::string& name, uint64_t epoch,
+                     std::span<const durability::EdgeOp> updates,
+                     std::string* error);
+
+  /// Recovery: re-runs a journaled seal, pinning the exact epoch the
+  /// pre-crash process installed. Fails when `old_epoch` does not match
+  /// the graph's current epoch (the journaled chain must be contiguous).
+  Status ReplaySeal(const std::string& name, uint64_t old_epoch,
+                    uint64_t new_epoch, int threads, std::string* error);
+
+  /// Recovery: discards resident live state for `name` (a journaled
+  /// re-registration supersedes everything buffered before it). Not safe
+  /// against concurrent ApplyEdges — recovery runs single-threaded before
+  /// the server accepts traffic.
+  bool DropState(const std::string& name);
+
+  /// Writes an on-demand snapshot of `name` (the admin endpoint), covering
+  /// the journal up to now — including acked-but-unsealed pending updates.
+  /// kBadRequest without a durability layer, kNotFound for unknown names,
+  /// kShutdown when the write fails.
+  Status SnapshotNow(const std::string& name, std::string* error);
+
   struct Stats {
     uint64_t batches_total = 0;   ///< ApplyEdges calls accepted
     uint64_t updates_total = 0;   ///< individual edge updates buffered
@@ -184,7 +227,15 @@ class LiveGraphManager {
 
   /// Folds the pending buffer into a new graph + epoch, running every
   /// tracked configuration incrementally. Caller holds the state mutex.
-  void SealLocked(LiveGraphState& state, int threads, ApplyResult* result);
+  /// `pinned_epoch` != 0 is recovery replay: the seal installs exactly
+  /// that epoch and skips journaling and snapshot-on-seal.
+  void SealLocked(LiveGraphState& state, int threads, ApplyResult* result,
+                  uint64_t pinned_epoch = 0);
+
+  /// Builds a SnapshotData from the state and hands it to the durability
+  /// layer. Caller holds the state mutex (which also guarantees no append
+  /// for this graph races the covered-LSN capture).
+  bool WriteSnapshotLocked(LiveGraphState& state, std::string* error);
 
   /// One tip configuration's seal run (old baseline -> new baseline on
   /// `new_graph`). `changed` lists the edges whose presence actually
@@ -213,6 +264,7 @@ class LiveGraphManager {
   ResultCache* cache_;
   const LiveOptions options_;
   obs::Observability* obs_;
+  durability::DurabilityManager* durability_ = nullptr;
 
   obs::Counter* seals_incremental_ = nullptr;
   obs::Counter* seals_full_ = nullptr;

@@ -1,0 +1,18 @@
+#ifndef RECEIPT_UTIL_CRC32_H_
+#define RECEIPT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace receipt::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// Chainable: pass a previous call's return value as `seed` to extend the
+/// checksum over discontiguous buffers. Crc32(data, n) of the standard
+/// check input "123456789" is 0xCBF43926, which the durability suite
+/// asserts so the journal framing stays wire-compatible across refactors.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace receipt::util
+
+#endif  // RECEIPT_UTIL_CRC32_H_
