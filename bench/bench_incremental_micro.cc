@@ -183,7 +183,7 @@ bool CompareOne(const char* kind_name, const LiveConfig& config,
                 result.error.c_str());
     return false;
   }
-  const auto sealed = cache.Get(CacheKey{result.epoch, config.kind,
+  const auto sealed = cache.Get(CacheKey{"g", result.epoch, config.kind,
                                          AlgorithmFor(config.kind),
                                          config.partitions});
   if (sealed == nullptr) {
@@ -207,7 +207,7 @@ bool CompareOne(const char* kind_name, const LiveConfig& config,
     return false;
   }
   const auto scratch = full_cache.Get(
-      CacheKey{full_registry.Acquire("f").epoch(), config.kind,
+      CacheKey{"f", full_registry.Acquire("f").epoch(), config.kind,
                AlgorithmFor(config.kind), config.partitions});
   if (scratch == nullptr) {
     std::printf("!! %s t=%d: full seal did not prime the cache\n", kind_name,

@@ -47,6 +47,8 @@
 
 #include <sstream>
 
+#include "cluster/node.h"
+#include "cluster/router.h"
 #include "receipt/receipt_lib.h"
 #include "server/decomposition_http.h"
 #include "server/http_server.h"
@@ -146,9 +148,21 @@ int Usage() {
       "            [--dirty-fraction-limit F] [--live-track tip-U:150,wing:8]\n"
       "            [--data-dir DIR] [--fsync always|batch|off]\n"
       "            [--journal-segment-mb MB] [--snapshot-on-seal[=off]]\n"
+      "            [--cluster-id ID --cluster-members a=H:P,b=H:P,...]\n"
+      "            [--replication R] [--cluster-proxy[=off]]\n"
+      "            [--peer-timeout-ms MS]\n"
       "            (--http-port serves HTTP/JSON until SIGINT/SIGTERM;\n"
+      "             port 0 binds an ephemeral port, printed on startup;\n"
       "             graphs may also be registered later via POST /v1/graphs;\n"
-      "             --data-dir journals every change and recovers on start)\n"
+      "             --data-dir journals every change and recovers on start;\n"
+      "             --cluster-id joins the replicated tier as that member)\n"
+      "  router    --members a=H:P,b=H:P,... [--http-port PORT]\n"
+      "            [--http-threads N] [--replication R] [--trace-log FILE]\n"
+      "            [--health-interval-ms MS] [--peer-timeout-ms MS]\n"
+      "            (front-end for a replica set: spreads reads over healthy\n"
+      "             holders, steers writes to the shard owner, fails over,\n"
+      "             and appends one JSONL client-trace record per acked op\n"
+      "             for tools/consistency_check)\n"
       "  update    --graph NAME --batch FILE|-  [--host H] [--port P]\n"
       "            [--seal] [--threads T] [--track tip-U:150,wing:8]\n"
       "            [--retries N] [--retry-base-ms MS]\n"
@@ -638,15 +652,96 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void OnStopSignal(int) { g_stop_requested = 1; }
 
+// router: thin front-end over a replica set (see cluster::Router). Runs
+// until SIGINT/SIGTERM, then prints routing stats.
+int CmdRouter(const Args& args) {
+  std::vector<cluster::ClusterMember> members;
+  std::string member_error;
+  if (!cluster::ParseClusterMembers(args.Get("members"), &members,
+                                    &member_error)) {
+    std::fprintf(stderr, "--members: %s\n", member_error.c_str());
+    return 1;
+  }
+  if (members.empty()) {
+    std::fprintf(stderr, "need --members a=HOST:PORT,b=HOST:PORT,...\n");
+    return 1;
+  }
+  const int64_t port = args.GetInt("http-port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--http-port must be in [0, 65535], got %lld\n",
+                 static_cast<long long>(port));
+    return 1;
+  }
+  cluster::RouterOptions options;
+  options.http.port = static_cast<uint16_t>(port);
+  options.http.num_threads = static_cast<int>(args.GetInt("http-threads", 4));
+  const int64_t replication = args.GetInt("replication", 2);
+  if (replication < 1 || replication > static_cast<int64_t>(members.size())) {
+    std::fprintf(stderr,
+                 "--replication must be in [1, %zu] (the member count)\n",
+                 members.size());
+    return 1;
+  }
+  options.replication_factor = static_cast<size_t>(replication);
+  const int64_t peer_timeout = args.GetInt("peer-timeout-ms", 5000);
+  const int64_t health_interval = args.GetInt("health-interval-ms", 250);
+  if (peer_timeout < 1 || peer_timeout > 600000 || health_interval < 0 ||
+      health_interval > 600000) {
+    std::fprintf(stderr, "--peer-timeout-ms must be in [1, 600000] and "
+                         "--health-interval-ms in [0, 600000]\n");
+    return 1;
+  }
+  options.peer_timeout_ms = static_cast<int>(peer_timeout);
+  options.health_interval_ms = static_cast<int>(health_interval);
+  options.trace_log_path = args.Get("trace-log");
+
+  cluster::Router router(members, options);
+  std::string error;
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "failed to start router: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("listening on http://%s:%u (router over %zu replicas, "
+              "replication=%zu%s)\n",
+              options.http.bind_address.c_str(), router.port(),
+              members.size(), options.replication_factor,
+              options.trace_log_path.empty()
+                  ? ""
+                  : (", trace-log " + options.trace_log_path).c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("signal received: draining\n");
+  router.Stop();
+
+  const cluster::Router::Stats stats = router.stats();
+  std::printf(
+      "router: reads_routed=%llu writes_routed=%llu failovers=%llu "
+      "no_replica=%llu trace_records=%llu healthy_replicas=%zu\n",
+      static_cast<unsigned long long>(stats.reads_routed),
+      static_cast<unsigned long long>(stats.writes_routed),
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.no_replica),
+      static_cast<unsigned long long>(stats.trace_records),
+      stats.healthy_replicas);
+  return 0;
+}
+
 // serve --http-port: expose the service over HTTP/JSON and run until
 // SIGINT/SIGTERM. Shutdown order matters: the HTTP server drains first
 // (handlers can still resolve futures against a live service), then the
 // service drains its own queue.
 int ServeHttp(const Args& args, service::GraphRegistry& registry,
               service::DecompositionService& service) {
+  // Port 0 asks the kernel for an ephemeral port; the bound port is
+  // printed on the "listening on" line below.
   const int64_t port = args.GetInt("http-port", 8080);
-  if (port < 1 || port > 65535) {
-    std::fprintf(stderr, "--http-port must be in [1, 65535], got %lld\n",
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--http-port must be in [0, 65535], got %lld\n",
                  static_cast<long long>(port));
     return 1;
   }
@@ -655,12 +750,74 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
   http_options.num_threads =
       static_cast<int>(args.GetInt("http-threads", 4));
   server::HttpServer http_server(http_options);
-  server::DecompositionHttpFrontend frontend(registry, service, http_server);
+
+  // With --cluster-id the frontend registers no routes of its own: the
+  // ClusterNode wraps every endpoint with ownership-aware routing and
+  // delegates the local work back to the frontend's handlers.
+  const std::string cluster_id = args.Get("cluster-id");
+  server::DecompositionHttpFrontend frontend(
+      registry, service, http_server, /*register_routes=*/cluster_id.empty());
+
+  std::unique_ptr<cluster::ClusterNode> node;
+  if (!cluster_id.empty()) {
+    cluster::ClusterNodeOptions cluster_options;
+    cluster_options.self_id = cluster_id;
+    std::string member_error;
+    if (!cluster::ParseClusterMembers(args.Get("cluster-members"),
+                                      &cluster_options.members,
+                                      &member_error)) {
+      std::fprintf(stderr, "--cluster-members: %s\n", member_error.c_str());
+      return 1;
+    }
+    bool self_listed = false;
+    for (const cluster::ClusterMember& member : cluster_options.members) {
+      self_listed = self_listed || member.id == cluster_id;
+    }
+    if (!self_listed) {
+      std::fprintf(stderr, "--cluster-id '%s' is not in --cluster-members\n",
+                   cluster_id.c_str());
+      return 1;
+    }
+    const int64_t replication =
+        args.GetInt("replication", cluster_options.replication_factor);
+    if (replication < 1 ||
+        replication > static_cast<int64_t>(cluster_options.members.size())) {
+      std::fprintf(stderr,
+                   "--replication must be in [1, %zu] (the member count)\n",
+                   cluster_options.members.size());
+      return 1;
+    }
+    cluster_options.replication_factor = static_cast<size_t>(replication);
+    if (!ParseOnOff(args, "cluster-proxy", cluster_options.proxy,
+                    &cluster_options.proxy)) {
+      return 1;
+    }
+    const int64_t peer_timeout = args.GetInt("peer-timeout-ms", 5000);
+    if (peer_timeout < 1 || peer_timeout > 600000) {
+      std::fprintf(stderr, "--peer-timeout-ms must be in [1, 600000]\n");
+      return 1;
+    }
+    cluster_options.peer_timeout_ms = static_cast<int>(peer_timeout);
+    node = std::make_unique<cluster::ClusterNode>(cluster_options, registry,
+                                                  service, frontend,
+                                                  http_server);
+  }
 
   std::string error;
   if (!http_server.Start(&error)) {
     std::fprintf(stderr, "failed to start HTTP server: %s\n", error.c_str());
     return 2;
+  }
+  if (node != nullptr) {
+    // With --http-port 0 the advertised spec for this member is stale;
+    // fix it up now that the real port is known.
+    node->SetMemberEndpoint(cluster_id, http_options.bind_address,
+                            http_server.port());
+    std::printf("cluster member '%s' (replication=%lld, %s)\n",
+                cluster_id.c_str(),
+                static_cast<long long>(args.GetInt("replication", 2)),
+                args.Get("cluster-proxy", "on") != "off" ? "proxying"
+                                                         : "redirecting");
   }
   std::printf("listening on http://%s:%u (POST /v1/decompose, "
               "GET|POST /v1/graphs, POST /v1/graphs/{name}/edges, "
@@ -692,6 +849,21 @@ int ServeHttp(const Args& args, service::GraphRegistry& registry,
       static_cast<unsigned long long>(http.responses_5xx),
       static_cast<unsigned long long>(fe.rejected_busy),
       static_cast<unsigned long long>(fe.disconnect_cancels));
+  if (node != nullptr) {
+    const cluster::ClusterNode::Stats cs = node->stats();
+    std::printf(
+        "cluster: local_reads=%llu proxied=%llu redirected=%llu "
+        "stale_rejects=%llu replicated_out=%llu replication_failures=%llu "
+        "chain_syncs=%llu replicated_applies=%llu\n",
+        static_cast<unsigned long long>(cs.local_reads),
+        static_cast<unsigned long long>(cs.proxied),
+        static_cast<unsigned long long>(cs.redirected),
+        static_cast<unsigned long long>(cs.stale_rejects),
+        static_cast<unsigned long long>(cs.replicated_out),
+        static_cast<unsigned long long>(cs.replication_failures),
+        static_cast<unsigned long long>(cs.chain_syncs),
+        static_cast<unsigned long long>(cs.replicated_applies));
+  }
   std::printf(
       "service: submitted=%llu engine_runs=%llu cache_hits=%llu "
       "coalesced=%llu cancelled=%llu\n",
@@ -805,6 +977,10 @@ int CmdServe(const Args& args) {
   if (args.Has("http-port") && service_options.num_workers < 1) {
     std::fprintf(stderr, "--http-port requires --workers >= 1; using 1\n");
     service_options.num_workers = 1;
+  }
+  if (args.Has("cluster-id") && !args.Has("http-port")) {
+    std::fprintf(stderr, "--cluster-id requires --http-port\n");
+    return 1;
   }
   service_options.cache_bytes =
       static_cast<size_t>(args.GetInt("cache-mb", 64)) << 20;
@@ -1073,6 +1249,7 @@ int main(int argc, char** argv) {
   if (command == "decompose") return CmdDecompose(args);
   if (command == "wing") return CmdWing(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "router") return CmdRouter(args);
   if (command == "update") return CmdUpdate(args);
   return Usage();
 }

@@ -1,0 +1,151 @@
+#include "cluster/consistency.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace receipt::cluster {
+
+bool ParseTraceFile(const std::string& path, std::vector<TraceOp>* out,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open trace file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto json = util::JsonValue::Parse(line, &parse_error);
+    if (!json.has_value() || !json->IsObject()) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_number) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      }
+      return false;
+    }
+    TraceOp op;
+    op.file = path;
+    op.line = line_number;
+    std::string op_name;
+    const util::JsonValue* seq = json->Find("seq");
+    const util::JsonValue* epoch = json->Find("epoch");
+    if (seq == nullptr || !seq->IsInt() || epoch == nullptr ||
+        !epoch->IsInt() || !json->GetString("client", &op.client) ||
+        !json->GetString("op", &op_name) ||
+        !json->GetString("graph", &op.graph) ||
+        !json->GetString("request_id", &op.request_id) ||
+        (op_name != "read" && op_name != "write")) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_number) +
+                 ": missing or mistyped trace fields";
+      }
+      return false;
+    }
+    op.seq = seq->AsUint();
+    op.epoch = epoch->AsUint();
+    op.read = op_name == "read";
+    out->push_back(std::move(op));
+  }
+  return true;
+}
+
+namespace {
+
+std::string DescribeOp(const TraceOp& op) {
+  std::ostringstream text;
+  text << op.file << ":" << op.line << " seq=" << op.seq << " client="
+       << op.client << " " << (op.read ? "read" : "write") << " graph="
+       << op.graph << " epoch=" << op.epoch;
+  if (!op.request_id.empty()) text << " request_id=" << op.request_id;
+  return text.str();
+}
+
+}  // namespace
+
+std::string FormatViolation(const ConsistencyViolation& violation) {
+  std::ostringstream text;
+  text << "violating pair (" << violation.rule << "): " << violation.detail
+       << "\n  first:  " << DescribeOp(violation.first)
+       << "\n  second: " << DescribeOp(violation.second);
+  return text.str();
+}
+
+std::optional<ConsistencyViolation> CheckPramConsistency(
+    const std::vector<TraceOp>& ops) {
+  // The global write-epoch set per graph, position-independent (see the
+  // header: a sealed epoch is readable before its own trace line lands).
+  std::map<std::string, std::set<uint64_t>> written;
+  std::map<std::string, const TraceOp*> last_write_of_graph;
+  for (const TraceOp& op : ops) {
+    if (!op.read) {
+      written[op.graph].insert(op.epoch);
+      auto& last = last_write_of_graph[op.graph];
+      if (last == nullptr || op.epoch >= last->epoch) last = &op;
+    }
+  }
+
+  struct PerClientGraph {
+    const TraceOp* last_read = nullptr;
+    const TraceOp* max_write = nullptr;
+    const TraceOp* last_write = nullptr;
+  };
+  std::map<std::pair<std::string, std::string>, PerClientGraph> streams;
+
+  for (const TraceOp& op : ops) {
+    PerClientGraph& s = streams[{op.client, op.graph}];
+    if (op.read) {
+      if (s.last_read != nullptr && op.epoch < s.last_read->epoch) {
+        return ConsistencyViolation{
+            "read-monotonic",
+            "client '" + op.client + "' read graph '" + op.graph +
+                "' at epoch " + std::to_string(op.epoch) +
+                " after reading epoch " + std::to_string(s.last_read->epoch),
+            *s.last_read, op};
+      }
+      if (s.max_write != nullptr && op.epoch < s.max_write->epoch) {
+        return ConsistencyViolation{
+            "read-your-writes",
+            "client '" + op.client + "' read graph '" + op.graph +
+                "' at epoch " + std::to_string(op.epoch) +
+                " after being acked a write at epoch " +
+                std::to_string(s.max_write->epoch),
+            *s.max_write, op};
+      }
+      const auto graph_writes = written.find(op.graph);
+      if (graph_writes != written.end() &&
+          graph_writes->second.count(op.epoch) == 0) {
+        return ConsistencyViolation{
+            "read-of-unwritten-epoch",
+            "client '" + op.client + "' read graph '" + op.graph +
+                "' at epoch " + std::to_string(op.epoch) +
+                ", which no traced write produced",
+            *last_write_of_graph[op.graph], op};
+      }
+      s.last_read = &op;
+    } else {
+      if (s.last_write != nullptr && op.epoch < s.last_write->epoch) {
+        return ConsistencyViolation{
+            "write-monotonic",
+            "client '" + op.client + "' was acked a write to graph '" +
+                op.graph + "' at epoch " + std::to_string(op.epoch) +
+                " after a write at epoch " +
+                std::to_string(s.last_write->epoch),
+            *s.last_write, op};
+      }
+      if (s.max_write == nullptr || op.epoch >= s.max_write->epoch) {
+        s.max_write = &op;
+      }
+      s.last_write = &op;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace receipt::cluster

@@ -1,0 +1,66 @@
+#ifndef RECEIPT_CLUSTER_CONSISTENCY_H_
+#define RECEIPT_CLUSTER_CONSISTENCY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace receipt::cluster {
+
+/// One parsed line of a ClientTraceLog JSONL file.
+struct TraceOp {
+  uint64_t seq = 0;
+  std::string client;
+  bool read = true;
+  std::string graph;
+  uint64_t epoch = 0;
+  std::string request_id;
+  std::string file;  ///< where the op came from, for reporting
+  size_t line = 0;   ///< 1-based line number in `file`
+};
+
+/// Parses a trace file as written by obs::ClientTraceLog, appending to
+/// `out` in file order (which is per-client program order for sequential
+/// clients). Blank lines are skipped; any malformed line fails the parse.
+bool ParseTraceFile(const std::string& path, std::vector<TraceOp>* out,
+                    std::string* error);
+
+/// A PRAM/epoch-monotonicity violation: the *pair* of operations that
+/// cannot both be explained by any per-client-sequential execution.
+struct ConsistencyViolation {
+  std::string rule;
+  std::string detail;
+  TraceOp first;   ///< the earlier op of the violating pair
+  TraceOp second;  ///< the op that contradicts it
+};
+
+/// Human-readable multi-line rendering, naming both ops of the pair.
+std::string FormatViolation(const ConsistencyViolation& violation);
+
+/// Checks a trace against PRAM consistency with epochs as the version
+/// order, per (client, graph):
+///
+///   read-monotonic      a client's reads never go backwards in epoch
+///   read-your-writes    a read reflects every earlier write the same
+///                       client was acked for (read epoch >= the client's
+///                       max prior write epoch)
+///   write-monotonic     a client's acked write epochs never decrease
+///                       (non-strict: unsealed batches repeat the epoch)
+///   read-of-unwritten-epoch
+///                       every read epoch was produced by some write in
+///                       the trace (checked only for graphs the trace
+///                       writes at all — reads of pre-registered graphs
+///                       have nothing to match). The write set is global,
+///                       not a prefix: a seal's epoch is readable the
+///                       moment it installs, possibly before the write's
+///                       own trace line lands.
+///
+/// `ops` must be in trace order (ParseTraceFile order). Returns the first
+/// violation found, or nullopt when the trace is PRAM-consistent.
+std::optional<ConsistencyViolation> CheckPramConsistency(
+    const std::vector<TraceOp>& ops);
+
+}  // namespace receipt::cluster
+
+#endif  // RECEIPT_CLUSTER_CONSISTENCY_H_

@@ -1,0 +1,47 @@
+#ifndef RECEIPT_CLUSTER_HASH_RING_H_
+#define RECEIPT_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace receipt::cluster {
+
+/// Consistent-hash ring over member ids: each member contributes
+/// `vnodes` points (FNV-1a 64 of "id#k"), a key is owned by the first
+/// point at or clockwise after its hash. Placement depends only on the
+/// member-id set — every process (replicas, router, tests) that builds a
+/// ring from the same ids computes the same owner for every graph name,
+/// with no coordination. Removing a member moves only the keys it owned
+/// (the consistent-hashing minimal-remap property, asserted by the
+/// cluster tests).
+class HashRing {
+ public:
+  explicit HashRing(std::vector<std::string> member_ids, int vnodes = 64);
+
+  /// The member owning `key`. Empty string when the ring has no members.
+  const std::string& Owner(std::string_view key) const;
+
+  /// The first `count` *distinct* members clockwise from `key`'s hash:
+  /// holders[0] is the owner, the rest are its replicas. Shorter than
+  /// `count` when the ring has fewer members.
+  std::vector<std::string> Holders(std::string_view key, size_t count) const;
+
+  const std::vector<std::string>& members() const { return members_; }
+
+  static uint64_t Fnv1a64(std::string_view bytes);
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    uint32_t member = 0;  ///< index into members_
+  };
+
+  std::vector<std::string> members_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace receipt::cluster
+
+#endif  // RECEIPT_CLUSTER_HASH_RING_H_

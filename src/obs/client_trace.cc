@@ -1,0 +1,52 @@
+#include "obs/client_trace.h"
+
+#include <chrono>
+
+#include "util/json.h"
+
+namespace receipt::obs {
+
+ClientTraceLog::~ClientTraceLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ClientTraceLog::Open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = "cannot open trace log '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+void ClientTraceLog::Record(const ClientTraceRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("seq").Uint(next_seq_++);
+  json.Key("client").String(record.client);
+  json.Key("op").String(record.read ? "read" : "write");
+  json.Key("graph").String(record.graph);
+  json.Key("epoch").Uint(record.epoch);
+  json.Key("request_id").String(record.request_id);
+  json.Key("ns").Uint(ns);
+  json.EndObject();
+  const std::string line = json.Take();
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+uint64_t ClientTraceLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace receipt::obs

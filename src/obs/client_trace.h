@@ -1,0 +1,58 @@
+#ifndef RECEIPT_OBS_CLIENT_TRACE_H_
+#define RECEIPT_OBS_CLIENT_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace receipt::obs {
+
+/// One client-visible operation as the consistency checker sees it: who
+/// read or wrote which graph, and the epoch the response reported.
+struct ClientTraceRecord {
+  std::string client;      ///< X-Client-Id header, "anon" when absent
+  bool read = true;        ///< read = /v1/decompose, write = register/edges
+  std::string graph;
+  uint64_t epoch = 0;      ///< graph_epoch (reads) / epoch (writes) returned
+  std::string request_id;  ///< the X-Request-Id propagated end to end
+};
+
+/// The durable half of the PR 7 trace substrate: an append-only JSONL log
+/// of per-client read/write operations, written by the router as each
+/// response completes and consumed offline by tools/consistency_check.
+/// One line per op:
+///
+///   {"seq":3,"client":"c1","op":"read","graph":"g","epoch":7,
+///    "request_id":"00000000c0ffee","ns":171234567890}
+///
+/// `seq` is the sink's own append order (the per-client program order for
+/// sequential clients); `ns` is wall-clock, informational only — the
+/// checker orders by seq. Lines are flushed as written so a kill -9 of
+/// the router loses at most the line being formatted.
+class ClientTraceLog {
+ public:
+  ClientTraceLog() = default;
+  ~ClientTraceLog();
+  ClientTraceLog(const ClientTraceLog&) = delete;
+  ClientTraceLog& operator=(const ClientTraceLog&) = delete;
+
+  /// Opens (appending) the sink. False + `error` when the open fails.
+  bool Open(const std::string& path, std::string* error);
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Appends one record. No-op when the sink is not open.
+  void Record(const ClientTraceRecord& record);
+
+  uint64_t records_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace receipt::obs
+
+#endif  // RECEIPT_OBS_CLIENT_TRACE_H_

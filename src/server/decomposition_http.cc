@@ -113,7 +113,7 @@ void WriteQuantiles(const char* key, const obs::Histogram& histogram,
 
 DecompositionHttpFrontend::DecompositionHttpFrontend(
     service::GraphRegistry& registry, service::DecompositionService& service,
-    HttpServer& server)
+    HttpServer& server, bool register_routes)
     : registry_(&registry),
       service_(&service),
       server_(&server),
@@ -121,6 +121,7 @@ DecompositionHttpFrontend::DecompositionHttpFrontend(
   http_request_seconds_ = obs_->metrics.GetHistogram(
       "receipt_http_request_seconds",
       "Wall time of /v1/decompose handling, socket parse to response body");
+  if (!register_routes) return;
   server.Handle("POST", "/v1/decompose",
                 [this](const HttpRequest& r) { return HandleDecompose(r); });
   server.Handle("GET", "/v1/graphs",

@@ -43,9 +43,24 @@ namespace receipt::server {
 /// wants the result.
 class DecompositionHttpFrontend {
  public:
+  /// `register_routes` false skips route registration: a wrapper (the
+  /// cluster node) installs its own cluster-aware routes and delegates to
+  /// the public handlers below for everything it serves locally.
   DecompositionHttpFrontend(service::GraphRegistry& registry,
                             service::DecompositionService& service,
-                            HttpServer& server);
+                            HttpServer& server, bool register_routes = true);
+
+  // Handlers are public so a wrapping route table can reuse them verbatim.
+  HttpResponse HandleDecompose(const HttpRequest& request);
+  HttpResponse HandleListGraphs(const HttpRequest& request);
+  HttpResponse HandleRegisterGraph(const HttpRequest& request);
+  HttpResponse HandleGraphEdges(const HttpRequest& request);
+  HttpResponse HandleAdminSnapshot(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleStatz(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleTraces(const HttpRequest& request);
+  HttpResponse HandleTraceById(const HttpRequest& request);
 
   struct Stats {
     uint64_t decompose_requests = 0;
@@ -58,17 +73,6 @@ class DecompositionHttpFrontend {
   Stats stats() const;
 
  private:
-  HttpResponse HandleDecompose(const HttpRequest& request);
-  HttpResponse HandleListGraphs(const HttpRequest& request);
-  HttpResponse HandleRegisterGraph(const HttpRequest& request);
-  HttpResponse HandleGraphEdges(const HttpRequest& request);
-  HttpResponse HandleAdminSnapshot(const HttpRequest& request);
-  HttpResponse HandleHealthz(const HttpRequest& request);
-  HttpResponse HandleStatz(const HttpRequest& request);
-  HttpResponse HandleMetrics(const HttpRequest& request);
-  HttpResponse HandleTraces(const HttpRequest& request);
-  HttpResponse HandleTraceById(const HttpRequest& request);
-
   /// Bump receipt_http_requests_total{path=...}, lazily registering the
   /// label child on first sight of the path.
   void CountHttpRequest(const std::string& path);

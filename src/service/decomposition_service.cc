@@ -277,7 +277,7 @@ std::shared_future<Response> DecompositionService::SubmitImpl(
       normalized.algorithm == Algorithm::kWingBup) {
     normalized.partitions = 1;
   }
-  const CacheKey cache_key{handle.epoch(), normalized.kind,
+  const CacheKey cache_key{normalized.graph, handle.epoch(), normalized.kind,
                            normalized.algorithm,
                            static_cast<uint32_t>(normalized.partitions)};
 
@@ -702,6 +702,33 @@ Status DecompositionService::RegisterGraph(const std::string& name,
   // resyncs lazily on its next Track/ApplyEdges (same as before).
   if (previous) cache_.DropEpoch(previous.epoch());
   if (epoch_out != nullptr) *epoch_out = epoch;
+  return Status::kOk;
+}
+
+Status DecompositionService::RegisterGraphAtEpoch(const std::string& name,
+                                                  BipartiteGraph graph,
+                                                  uint64_t epoch,
+                                                  std::string* error) {
+  if (name.empty()) {
+    if (error != nullptr) *error = "graph name must not be empty";
+    return Status::kBadRequest;
+  }
+  if (epoch == 0) {
+    if (error != nullptr) *error = "epoch must be positive";
+    return Status::kBadRequest;
+  }
+  const GraphHandle previous = registry_->Acquire(name);
+  if (durability_ != nullptr) {
+    std::string log_error;
+    if (!durability_->LogRegister(name, epoch, graph.num_u(), graph.num_v(),
+                                  graph.ToEdges(), &log_error)) {
+      if (error != nullptr) *error = "durability: " + log_error;
+      return Status::kShutdown;
+    }
+  }
+  registry_->RegisterAtEpoch(name, std::move(graph), epoch);
+  live_->DropState(name);
+  if (previous) cache_.DropEpoch(previous.epoch());
   return Status::kOk;
 }
 

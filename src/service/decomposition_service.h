@@ -278,6 +278,15 @@ class DecompositionService {
   Status RegisterGraphFile(const std::string& name, const std::string& path,
                            uint64_t* epoch_out, std::string* error);
 
+  /// Replication: installs `graph` at an epoch dictated by the shard
+  /// owner instead of allocating one locally. Journals the registration
+  /// at that epoch (journal-before-ack, like RegisterGraph), so a
+  /// follower that crashes rejoins from its own data dir at the recorded
+  /// (graph, epoch) without peer resync. Resident live state for the name
+  /// is dropped — the replicated registration supersedes it.
+  Status RegisterGraphAtEpoch(const std::string& name, BipartiteGraph graph,
+                              uint64_t epoch, std::string* error);
+
   /// Durable eviction: journals the unregistration, then evicts the
   /// registry entry and drops resident live state. kNotFound when the name
   /// is unknown, kShutdown when the journal refuses the record (the graph

@@ -217,8 +217,8 @@ Status LiveGraphManager::TrackLocked(LiveGraphState& state,
   payload->stats = stats;
   // A tracked configuration is always answerable from cache on the sealed
   // epoch — starting with the one its baseline was just built on.
-  cache_->Put(CacheKey{state.handle.epoch(), config.kind, algorithm,
-                       config.partitions},
+  cache_->Put(CacheKey{state.name, state.handle.epoch(), config.kind,
+                       algorithm, config.partitions},
               std::move(payload));
   return Status::kOk;
 }
@@ -306,8 +306,103 @@ ApplyResult LiveGraphManager::ApplyEdges(const std::string& name,
   return result;
 }
 
+ApplyResult LiveGraphManager::ApplyReplicated(
+    const std::string& name, std::span<const EdgeUpdate> updates, bool seal,
+    uint64_t expected_epoch, uint64_t sealed_epoch, int threads) {
+  ApplyResult result;
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) {
+    result.status = Status::kNotFound;
+    result.error = "graph '" + name + "' is not registered";
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  result.epoch = state->handle.epoch();
+  if (state->handle.epoch() != expected_epoch) {
+    result.status = Status::kBadRequest;
+    result.error = "epoch chain mismatch: graph '" + name + "' is at " +
+                   std::to_string(state->handle.epoch()) +
+                   ", owner expected " + std::to_string(expected_epoch);
+    result.pending = state->pending.size();
+    return result;
+  }
+  if (seal && sealed_epoch <= expected_epoch) {
+    result.status = Status::kBadRequest;
+    result.error = "sealed epoch " + std::to_string(sealed_epoch) +
+                   " must exceed the pre-seal epoch " +
+                   std::to_string(expected_epoch);
+    result.pending = state->pending.size();
+    return result;
+  }
+  const BipartiteGraph& graph = state->handle.graph();
+  for (const EdgeUpdate& update : updates) {
+    if (update.u >= graph.num_u() || update.v >= graph.num_v()) {
+      result.status = Status::kBadRequest;
+      result.error = "replicated edge (" + std::to_string(update.u) + ", " +
+                     std::to_string(update.v) +
+                     ") lies outside the registered shape";
+      result.pending = state->pending.size();
+      return result;
+    }
+  }
+
+  // Same journal-before-buffer contract as ApplyEdges: once this follower
+  // acks the batch to the owner, its own recovery must reproduce it.
+  if (durability_ != nullptr && !updates.empty()) {
+    std::string log_error;
+    if (!durability_->LogEdgeBatch(name, state->handle.epoch(),
+                                   ToEdgeOps(updates), &log_error)) {
+      result.status = Status::kShutdown;
+      result.error = "durability: " + log_error;
+      result.pending = state->pending.size();
+      return result;
+    }
+  }
+  if (!updates.empty()) {
+    if (state->pending.empty()) {
+      state->first_pending_ns = obs::TraceRecorder::NowNs();
+    }
+    state->pending.insert(state->pending.end(), updates.begin(),
+                          updates.end());
+    updates_total_->Increment(updates.size());
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    ++stats_.batches_total;
+    stats_.updates_total += updates.size();
+    stats_.pending_edges += updates.size();
+  }
+  result.accepted = updates.size();
+  result.pending = state->pending.size();
+
+  // No policy seal here — a follower seals exactly when the owner sealed,
+  // at the owner's epoch, or the replica chains diverge.
+  if (seal) {
+    SealLocked(*state, threads, &result, sealed_epoch,
+               /*journal_pinned=*/true);
+    result.pending = 0;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    pending_gauge_->Set(stats_.pending_edges);
+  }
+  return result;
+}
+
+bool LiveGraphManager::ExportState(const std::string& name,
+                                   ExportedState* out) {
+  LiveGraphState* state = GetOrCreateState(name);
+  if (state == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state->mu);
+  out->epoch = state->handle.epoch();
+  out->num_u = state->handle.graph().num_u();
+  out->num_v = state->handle.graph().num_v();
+  out->edges = state->edges;
+  out->pending = state->pending;
+  return true;
+}
+
 void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
-                                  ApplyResult* result, uint64_t pinned_epoch) {
+                                  ApplyResult* result, uint64_t pinned_epoch,
+                                  bool journal_pinned) {
   const WallTimer timer;
   threads = threads > 0 ? threads : std::max(1, options_.seal_threads);
   const GraphHandle old_handle = state.handle;  // keeps the old graph alive
@@ -368,8 +463,8 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
     SealConfigReport report;
     auto payload = SealTip(state, config, baseline, old_graph, new_graph,
                            changed, threads, &report);
-    primes.emplace_back(CacheKey{0, config.kind, Algorithm::kReceipt,
-                                 config.partitions},
+    primes.emplace_back(CacheKey{state.name, 0, config.kind,
+                                 Algorithm::kReceipt, config.partitions},
                         std::move(payload));
     result->reports.push_back(std::move(report));
   }
@@ -377,8 +472,8 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
     SealConfigReport report;
     auto payload = SealWing(state, config, baseline, old_graph, new_graph,
                             changed, old_to_new, threads, &report);
-    primes.emplace_back(CacheKey{0, config.kind, Algorithm::kReceiptWing,
-                                 config.partitions},
+    primes.emplace_back(CacheKey{state.name, 0, config.kind,
+                                 Algorithm::kReceiptWing, config.partitions},
                         std::move(payload));
     result->reports.push_back(std::move(report));
   }
@@ -398,6 +493,11 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
       std::string log_error;
       durability_->LogSeal(state.name, old_epoch, new_epoch, &log_error);
     }
+  } else if (journal_pinned && durability_ != nullptr) {
+    // A replicated seal is new history for *this* process even though the
+    // epoch was minted elsewhere — journal it so recovery replays it.
+    std::string log_error;
+    durability_->LogSeal(state.name, old_epoch, new_epoch, &log_error);
   }
   registry_->RegisterAtEpoch(state.name, std::move(new_graph), new_epoch);
   state.handle = registry_->Acquire(state.name);
@@ -447,7 +547,7 @@ void LiveGraphManager::SealLocked(LiveGraphState& state, int threads,
   // Snapshot-on-seal compacts the journal to (roughly) one snapshot per
   // graph plus the records since. Replayed seals skip it: recovery writes
   // nothing until the process is serving again.
-  if (pinned_epoch == 0 && durability_ != nullptr &&
+  if ((pinned_epoch == 0 || journal_pinned) && durability_ != nullptr &&
       durability_->snapshot_on_seal()) {
     std::string snap_error;
     WriteSnapshotLocked(state, &snap_error);
@@ -789,8 +889,8 @@ Status LiveGraphManager::RestoreSnapshot(const durability::SnapshotData& data,
     // the restored epoch, exactly as the pre-crash seal did.
     auto payload = std::make_shared<Payload>();
     payload->numbers = config.numbers;
-    cache_->Put(CacheKey{data.epoch, live.kind, AlgorithmFor(live.kind),
-                         live.partitions},
+    cache_->Put(CacheKey{data.graph, data.epoch, live.kind,
+                         AlgorithmFor(live.kind), live.partitions},
                 std::move(payload));
   }
 

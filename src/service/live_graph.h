@@ -130,6 +130,34 @@ class LiveGraphManager {
                          int threads = 0,
                          std::span<const LiveConfig> track = {});
 
+  /// Replication: applies a batch the shard owner already accepted,
+  /// journaled under the owner's epochs. Unlike ApplyEdges this never
+  /// policy-seals — the owner dictates every seal point — and unlike the
+  /// recovery Replay* paths it *does* journal (batch at `expected_epoch`,
+  /// seal as `expected_epoch` -> `sealed_epoch`) and snapshots on seal, so
+  /// a follower rejoins from its own data dir at the owner's epochs.
+  /// Returns kBadRequest with the current epoch in `epoch` when
+  /// `expected_epoch` does not match the local chain (the caller answers
+  /// 409 and the owner falls back to a full-state sync).
+  ApplyResult ApplyReplicated(const std::string& name,
+                              std::span<const EdgeUpdate> updates, bool seal,
+                              uint64_t expected_epoch, uint64_t sealed_epoch,
+                              int threads = 0);
+
+  /// A copy of one graph's replicated essentials: the sealed edge list at
+  /// `epoch` plus the acked-but-unsealed pending buffer. What the owner
+  /// ships to a follower whose epoch chain diverged (full-state sync).
+  struct ExportedState {
+    uint64_t epoch = 0;
+    uint32_t num_u = 0;
+    uint32_t num_v = 0;
+    std::vector<BipartiteGraph::Edge> edges;
+    std::vector<EdgeUpdate> pending;
+  };
+
+  /// Copies the current state of `name` (false when unregistered).
+  bool ExportState(const std::string& name, ExportedState* out);
+
   /// Buffered updates for `name` (0 when untracked).
   size_t PendingEdges(const std::string& name) const;
 
@@ -227,10 +255,14 @@ class LiveGraphManager {
 
   /// Folds the pending buffer into a new graph + epoch, running every
   /// tracked configuration incrementally. Caller holds the state mutex.
-  /// `pinned_epoch` != 0 is recovery replay: the seal installs exactly
-  /// that epoch and skips journaling and snapshot-on-seal.
+  /// `pinned_epoch` != 0 installs exactly that epoch instead of allocating
+  /// one: recovery replay (`journal_pinned` false) additionally skips
+  /// journaling and snapshot-on-seal — the journal already has the record —
+  /// while a replicated seal (`journal_pinned` true) journals the pinned
+  /// transition and snapshots like a local seal, because for a follower
+  /// this *is* the first time the transition happens.
   void SealLocked(LiveGraphState& state, int threads, ApplyResult* result,
-                  uint64_t pinned_epoch = 0);
+                  uint64_t pinned_epoch = 0, bool journal_pinned = false);
 
   /// Builds a SnapshotData from the state and hands it to the durability
   /// layer. Caller holds the state mutex (which also guarantees no append

@@ -5,6 +5,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -13,13 +14,16 @@
 namespace receipt::service {
 
 /// Cache key: the semantic parameters that determine a decomposition's
-/// output. The graph is identified by its registry *epoch* (not name), so
-/// evicting or replacing a graph silently orphans its entries — they age
+/// output. The graph is identified by its *name and registry epoch*:
+/// epochs alone are ambiguous once replication pins foreign epochs from
+/// different shard owners into one process, so the name disambiguates.
+/// Evicting or replacing a graph silently orphans its entries — they age
 /// out through LRU without any invalidation protocol. The thread count is
 /// deliberately absent: tip/wing numbers are thread-count-invariant
 /// (Theorem 2; the determinism tests assert it), so a result computed at
 /// any parallelism serves every equivalent request.
 struct CacheKey {
+  std::string graph;
   uint64_t epoch = 0;
   RequestKind kind = RequestKind::kTipU;
   Algorithm algorithm = Algorithm::kReceipt;
@@ -30,7 +34,12 @@ struct CacheKey {
 
 struct CacheKeyHash {
   size_t operator()(const CacheKey& key) const {
-    uint64_t h = key.epoch;
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 over the name
+    for (const char c : key.graph) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h = h * 0x9e3779b97f4a7c15ULL + key.epoch;
     h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(key.kind);
     h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(key.algorithm);
     h = h * 0x9e3779b97f4a7c15ULL + key.partitions;

@@ -113,7 +113,7 @@ void RunChurn(const LiveConfig& config, int threads, double dirty_limit,
     const GraphHandle after = fx.registry.Acquire("g");
     ASSERT_EQ(after.epoch(), result.epoch);
     const auto payload = fx.cache.Get(CacheKey{
-        result.epoch, config.kind, AlgorithmFor(config.kind),
+        "g", result.epoch, config.kind, AlgorithmFor(config.kind),
         config.partitions});
     ASSERT_NE(payload, nullptr) << "seal did not prime the cache";
     EXPECT_EQ(payload->numbers,
@@ -187,7 +187,8 @@ TEST(IncrementalChurnTest, SmallBatchesReuseSealedRanges) {
 
   const GraphHandle after = fx.registry.Acquire("g");
   const auto payload = fx.cache.Get(CacheKey{
-      result.epoch, config.kind, Algorithm::kReceipt, config.partitions});
+      "g", result.epoch, config.kind, Algorithm::kReceipt,
+      config.partitions});
   ASSERT_NE(payload, nullptr);
   EXPECT_EQ(payload->numbers, DirectNumbers(after.graph(), config, 2));
 }
@@ -219,7 +220,7 @@ TEST(IncrementalChurnTest, MultiConfigSealKeepsAllConfigsIdentical) {
   const GraphHandle after = fx.registry.Acquire("g");
   for (const LiveConfig& config : configs) {
     const auto payload = fx.cache.Get(CacheKey{
-        result.epoch, config.kind, AlgorithmFor(config.kind),
+        "g", result.epoch, config.kind, AlgorithmFor(config.kind),
         config.partitions});
     ASSERT_NE(payload, nullptr) << RequestKindName(config.kind);
     EXPECT_EQ(payload->numbers, DirectNumbers(after.graph(), config, 2))
@@ -282,9 +283,10 @@ TEST(ResultCacheTest, DropEpochRemovesExactlyThatEpoch) {
   ResultCache cache(size_t{1} << 20);
   auto payload = std::make_shared<Payload>();
   payload->numbers = {1, 2, 3};
-  const CacheKey old_key{1, RequestKind::kTipU, Algorithm::kReceipt, 6};
-  const CacheKey old_key2{1, RequestKind::kWing, Algorithm::kReceiptWing, 8};
-  const CacheKey live_key{2, RequestKind::kTipU, Algorithm::kReceipt, 6};
+  const CacheKey old_key{"g", 1, RequestKind::kTipU, Algorithm::kReceipt, 6};
+  const CacheKey old_key2{"g", 1, RequestKind::kWing,
+                          Algorithm::kReceiptWing, 8};
+  const CacheKey live_key{"g", 2, RequestKind::kTipU, Algorithm::kReceipt, 6};
   cache.Put(old_key, payload);
   cache.Put(old_key2, payload);
   cache.Put(live_key, payload);

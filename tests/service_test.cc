@@ -104,9 +104,9 @@ TEST(ResultCacheTest, LruEvictionUnderByteBudget) {
   const size_t one = make_payload(100)->ApproxBytes();
   ResultCache cache(2 * one);
 
-  const CacheKey a{1, RequestKind::kTipU, Algorithm::kReceipt, 6};
-  const CacheKey b{2, RequestKind::kTipU, Algorithm::kReceipt, 6};
-  const CacheKey c{3, RequestKind::kTipU, Algorithm::kReceipt, 6};
+  const CacheKey a{"g", 1, RequestKind::kTipU, Algorithm::kReceipt, 6};
+  const CacheKey b{"g", 2, RequestKind::kTipU, Algorithm::kReceipt, 6};
+  const CacheKey c{"g", 3, RequestKind::kTipU, Algorithm::kReceipt, 6};
   cache.Put(a, make_payload(100));
   cache.Put(b, make_payload(100));
   EXPECT_NE(cache.Get(a), nullptr);  // promotes a over b
